@@ -1,0 +1,53 @@
+"""Figure 5 — mean/P99 latency versus application throughput for the baseline policy.
+
+The baseline policy issues a 4 KB block read but uses only 128 B of it (~3 %
+effective bandwidth), so the device saturates at a small application
+throughput; reading 4 KB of useful data per block (100 % effective bandwidth)
+sustains ~32× more application throughput before latency spikes.
+"""
+
+from benchmarks.common import save_result
+from repro.nvm.latency import NVMLatencyModel
+from repro.simulation.report import format_table
+
+THROUGHPUTS_MBPS = [25, 50, 75, 100, 500, 1000, 2000]
+
+
+def run_figure5():
+    model = NVMLatencyModel()
+    baseline_fraction = 128 / 4096
+    rows = []
+    for throughput in THROUGHPUTS_MBPS:
+        baseline = model.application_latency(throughput, baseline_fraction)
+        full = model.application_latency(throughput, 1.0)
+        rows.append(
+            [
+                throughput,
+                f"{baseline.mean_us:.0f}",
+                f"{baseline.p99_us:.0f}",
+                f"{full.mean_us:.0f}",
+                f"{full.p99_us:.0f}",
+            ]
+        )
+    return format_table(
+        [
+            "app throughput (MB/s)",
+            "baseline mean (us)",
+            "baseline p99 (us)",
+            "100% eff. BW mean (us)",
+            "100% eff. BW p99 (us)",
+        ],
+        rows,
+    )
+
+
+def test_fig05_baseline_latency(benchmark):
+    table = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    save_result("fig05_baseline_latency", table)
+    model = NVMLatencyModel()
+    baseline_fraction = 128 / 4096
+    # At 100 MB/s of application traffic the baseline is already saturated
+    # while the 100% effective-bandwidth configuration is not (Figure 5).
+    assert model.application_latency(100, baseline_fraction).mean_us > 10 * model.application_latency(100, 1.0).mean_us
+    # At low load the two configurations are comparable.
+    assert model.application_latency(10, baseline_fraction).mean_us < 3 * model.application_latency(10, 1.0).mean_us

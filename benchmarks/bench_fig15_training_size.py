@@ -1,0 +1,67 @@
+"""Figure 15 — end-to-end effective bandwidth versus SHP training-set size.
+
+The whole pipeline is rebuilt with placements trained on increasing slices of
+the training trace (the paper's 200 M / 1 B / 5 B sweep): more training data
+improves the placement and therefore the end-to-end gain.
+"""
+
+from benchmarks.common import save_result
+from repro.core.bandana import BandanaStore
+from repro.core.config import BandanaConfig
+from repro.simulation.experiment import ExperimentSweep
+from repro.simulation.runner import simulate_store
+from repro.workloads.trace import ModelTrace
+
+TABLES = ["table1", "table2", "table6", "table7"]
+TRAINING_FRACTIONS = [0.1, 0.4, 1.0]
+
+
+def run_figure15(bundle):
+    eval_trace = ModelTrace({name: bundle[name].evaluation for name in TABLES})
+    num_vectors = {name: bundle[name].spec.num_vectors for name in TABLES}
+    total_working_set = sum(bundle[name].eval_unique for name in TABLES)
+    budget = int(round(total_working_set * 1.2))
+    sweep = ExperimentSweep("figure15", "end-to-end gain vs SHP training-set size")
+    overall = {}
+    for fraction in TRAINING_FRACTIONS:
+        train = ModelTrace(
+            {
+                name: bundle[name].train.head(
+                    max(2, int(round(len(bundle[name].train) * fraction)))
+                )
+                for name in TABLES
+            }
+        )
+        config = BandanaConfig(
+            total_cache_vectors=budget,
+            partitioner="shp",
+            shp_iterations=8,
+            mini_cache_sampling_rate=0.25,
+            seed=4,
+        )
+        store = BandanaStore.build(train, config, num_vectors=num_vectors)
+        result = simulate_store(store, eval_trace)
+        overall[fraction] = result.bandwidth_increase
+        for name, table_result in result.per_table.items():
+            sweep.add(
+                {"training_fraction": fraction, "table": name},
+                {"bw_increase": table_result.bandwidth_increase},
+            )
+        sweep.add(
+            {"training_fraction": fraction, "table": "ALL"},
+            {"bw_increase": result.bandwidth_increase},
+        )
+    return sweep, overall
+
+
+def test_fig15_training_size(bundle, benchmark):
+    sweep, overall = benchmark.pedantic(run_figure15, args=(bundle,), rounds=1, iterations=1)
+    save_result("fig15_training_size", sweep.to_table())
+    fractions = sorted(overall)
+    # Every training size must produce a positive end-to-end gain.  Note: at
+    # this reduced scale the *monotone growth* with training size that the
+    # paper reports does not always hold, because the admission thresholds are
+    # absolute access counts and longer training traces inflate every count
+    # (see EXPERIMENTS.md for the discussion); the benchmark therefore only
+    # checks positivity for all sizes.
+    assert all(overall[f] > 0 for f in fractions)

@@ -1,0 +1,72 @@
+"""Figure 16 — end-to-end effective bandwidth versus embedding-vector size.
+
+Smaller vectors pack more vectors into each 4 KB block, so a single block read
+prefetches more useful neighbours and the effective-bandwidth increase grows;
+larger vectors shrink the opportunity.  The benchmark rebuilds the per-table
+placement and cache for 64 / 128 / 256 B vectors.
+"""
+
+from benchmarks.common import save_result
+from repro.caching.policies import AccessThresholdPolicy, NoPrefetchPolicy
+from repro.caching.replay import effective_bandwidth_increase, replay_table_cache
+from repro.partitioning import SHPPartitioner
+from repro.simulation.experiment import ExperimentSweep
+
+from benchmarks.common import threshold_candidates
+
+TABLES = ["table1", "table2", "table7"]
+VECTOR_BYTES = [64, 128, 256]
+BLOCK_BYTES = 4096
+
+
+def run_figure16(bundle):
+    sweep = ExperimentSweep("figure16", "bandwidth increase vs vector size (bytes)")
+    gains = {}
+    for name in TABLES:
+        workload = bundle[name]
+        # The paper's end-to-end sweep uses a cache comfortably larger than
+        # the per-hour working set (4 M vectors); mirror that regime so the
+        # extra prefetch opportunities of small vectors are not drowned out by
+        # eviction pressure.
+        cache_size = int(round(workload.eval_unique * 1.3))
+        thresholds = threshold_candidates(workload)
+        best_threshold = thresholds[len(thresholds) // 2]
+        for vector_bytes in VECTOR_BYTES:
+            vectors_per_block = BLOCK_BYTES // vector_bytes
+            layout = (
+                SHPPartitioner(
+                    vectors_per_block=vectors_per_block, num_iterations=8, seed=2
+                )
+                .partition(workload.spec.num_vectors, trace=workload.train)
+                .layout(vectors_per_block)
+            )
+            baseline = replay_table_cache(
+                workload.evaluation.queries,
+                layout,
+                NoPrefetchPolicy(),
+                cache_size=cache_size,
+                vector_bytes=vector_bytes,
+            )
+            stats = replay_table_cache(
+                workload.evaluation.queries,
+                layout,
+                AccessThresholdPolicy(workload.access_counts, best_threshold),
+                cache_size=cache_size,
+                vector_bytes=vector_bytes,
+            )
+            gain = effective_bandwidth_increase(baseline, stats)
+            gains[(name, vector_bytes)] = gain
+            sweep.add(
+                {"table": name, "vector_bytes": vector_bytes, "vectors_per_block": vectors_per_block},
+                {"bw_increase": gain},
+            )
+    return sweep, gains
+
+
+def test_fig16_vector_size(bundle, benchmark):
+    sweep, gains = benchmark.pedantic(run_figure16, args=(bundle,), rounds=1, iterations=1)
+    save_result("fig16_vector_size", sweep.to_table())
+    # Smaller vectors (more vectors per block) never do worse than larger ones
+    # on the cacheable tables — the paper's Figure 16 trend.
+    for name in TABLES:
+        assert gains[(name, 64)] >= gains[(name, 256)] - 0.05

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``.  This file exists so the
+package can be installed in environments without the ``wheel`` package (where
+PEP 660 editable installs are unavailable) via ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

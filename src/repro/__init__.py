@@ -1,0 +1,40 @@
+"""Reproduction of *Bandana: Using Non-volatile Memory for Storing Deep Learning Models*.
+
+Bandana (Eisenman et al., MLSYS 2019) stores recommendation-model embedding
+tables on block-addressable NVM with a small DRAM cache.  Its two mechanisms —
+locality-aware physical placement of embedding vectors into 4 KB blocks and
+miniature-cache-tuned prefetch admission — are implemented here together with
+every substrate they require (an NVM device model, embedding tables, synthetic
+production-like traces, partitioners and the DRAM cache stack).
+
+The most convenient entry points are:
+
+``repro.BandanaStore``
+    The end-to-end system: builds a placement, tunes per-table caches and
+    serves lookups from the simulated NVM device.
+
+``repro.workloads.SyntheticTraceGenerator``
+    Generates access traces whose statistics match the paper's Table 1.
+
+``repro.simulation.simulate_table``
+    The per-table replay harness used by most of the paper's figures.
+
+See ``DESIGN.md`` for the full module map and the per-experiment index.
+"""
+
+from repro.core.bandana import BandanaStore, BandanaTableState
+from repro.core.config import BandanaConfig, TableCacheConfig
+from repro.core.metrics import CacheStats, EffectiveBandwidth, LatencyStats
+
+__all__ = [
+    "BandanaStore",
+    "BandanaTableState",
+    "BandanaConfig",
+    "TableCacheConfig",
+    "CacheStats",
+    "EffectiveBandwidth",
+    "LatencyStats",
+    "__version__",
+]
+
+__version__ = "0.1.0"

@@ -1,0 +1,65 @@
+"""The DRAM cache stack (the paper's Section 4.3).
+
+Bandana keeps a small per-table LRU cache in DRAM in front of the NVM device.
+The interesting policy question is what to do with the 31 *other* vectors that
+arrive with every 4 KB block read.  This package implements every variant the
+paper examines:
+
+* :class:`LRUCache` — an LRU queue supporting insertion at an arbitrary
+  position (needed for Figure 11a/11c),
+* :class:`ShadowCache` — an id-only LRU used as an admission filter
+  (Figure 11b),
+* :mod:`repro.caching.policies` — the prefetch-admission policies
+  (cache-all, insert-at-position, shadow admission, combined, and the
+  access-threshold policy Bandana adopts),
+* :mod:`repro.caching.replay` — the per-table cache replay engine used by all
+  cache experiments,
+* :mod:`repro.caching.stack_distance` — Mattson stack distances and hit-rate
+  curves (Figure 3),
+* :mod:`repro.caching.miniature` — miniature-cache simulation for picking the
+  admission threshold per table and cache size (Table 2, Figure 14),
+* :mod:`repro.caching.allocation` — splitting a DRAM budget across tables
+  from their hit-rate curves.
+"""
+
+from repro.caching.lru import LRUCache
+from repro.caching.shadow import ShadowCache
+from repro.caching.policies import (
+    PrefetchPolicy,
+    NoPrefetchPolicy,
+    CacheAllBlockPolicy,
+    InsertAtPositionPolicy,
+    ShadowAdmissionPolicy,
+    CombinedPolicy,
+    AccessThresholdPolicy,
+    make_policy,
+)
+from repro.caching.replay import ReplayStats, replay_table_cache
+from repro.caching.stack_distance import (
+    HitRateCurve,
+    compute_stack_distances,
+    hit_rate_curve,
+)
+from repro.caching.miniature import MiniatureCacheTuner, ThresholdSelection
+from repro.caching.allocation import allocate_dram_budget
+
+__all__ = [
+    "LRUCache",
+    "ShadowCache",
+    "PrefetchPolicy",
+    "NoPrefetchPolicy",
+    "CacheAllBlockPolicy",
+    "InsertAtPositionPolicy",
+    "ShadowAdmissionPolicy",
+    "CombinedPolicy",
+    "AccessThresholdPolicy",
+    "make_policy",
+    "ReplayStats",
+    "replay_table_cache",
+    "HitRateCurve",
+    "compute_stack_distances",
+    "hit_rate_curve",
+    "MiniatureCacheTuner",
+    "ThresholdSelection",
+    "allocate_dram_budget",
+]

@@ -1,0 +1,83 @@
+"""Splitting the DRAM budget across embedding tables.
+
+Bandana's miniature caches produce a hit-rate curve per table.  Because the
+curves are convex (the paper checks this for its workload), a greedy marginal
+allocation — repeatedly giving the next chunk of DRAM to the table whose hit
+count grows the most — is optimal, and matches the Dynacache-style static
+assignment the paper uses (Section 4.3.3, "we statically assigned the amount
+of DRAM to assign to each table with the goal of optimizing the total hit
+rate").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.caching.stack_distance import HitRateCurve
+from repro.utils.validation import check_positive
+
+
+def allocate_dram_budget(
+    curves: Mapping[str, HitRateCurve],
+    total_vectors: int,
+    chunk_vectors: Optional[int] = None,
+    min_per_table: int = 0,
+) -> Dict[str, int]:
+    """Split a DRAM budget (in vectors) across tables to maximise total hits.
+
+    Parameters
+    ----------
+    curves:
+        Per-table hit-rate curves.  ``HitRateCurve.hits_at`` converts a cache
+        size into an expected absolute hit count, so tables serving more
+        lookups naturally attract more DRAM.
+    total_vectors:
+        Total DRAM budget, expressed in cached vectors.  (Vector sizes are
+        uniform across the paper's tables, so vectors are a faithful budget
+        unit; callers with heterogeneous vector sizes should convert to the
+        smallest common unit first.)
+    chunk_vectors:
+        Granularity of the greedy allocation; defaults to 1 % of the budget.
+    min_per_table:
+        Optional floor given to every table before the greedy phase.
+
+    Returns
+    -------
+    dict mapping table name to its allocated number of cached vectors.  The
+    allocations sum to at most ``total_vectors``.
+    """
+    check_positive(total_vectors, "total_vectors")
+    if min_per_table < 0:
+        raise ValueError("min_per_table must be >= 0")
+    if not curves:
+        raise ValueError("curves must not be empty")
+    if min_per_table * len(curves) > total_vectors:
+        raise ValueError(
+            "min_per_table × number of tables exceeds the total DRAM budget"
+        )
+    if chunk_vectors is None:
+        chunk_vectors = max(1, total_vectors // 100)
+    check_positive(chunk_vectors, "chunk_vectors")
+
+    allocation = {name: int(min_per_table) for name in curves}
+    remaining = total_vectors - min_per_table * len(curves)
+
+    while remaining > 0:
+        chunk = min(chunk_vectors, remaining)
+        best_name = None
+        best_gain = 0.0
+        for name, curve in curves.items():
+            current = allocation[name]
+            gain = curve.hits_at(current + chunk) - curve.hits_at(current)
+            if gain > best_gain:
+                best_gain = gain
+                best_name = name
+        if best_name is None:
+            # No table benefits from more DRAM (all curves saturated): spread
+            # the remainder evenly so the budget is still honoured.
+            for name in allocation:
+                allocation[name] += remaining // len(allocation)
+            break
+        allocation[best_name] += chunk
+        remaining -= chunk
+    return allocation

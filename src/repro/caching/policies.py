@@ -1,0 +1,213 @@
+"""Prefetch-admission policies (the paper's Section 4.3).
+
+When a demand miss pulls a 4 KB block from NVM, the block carries up to 31
+other vectors.  A *prefetch policy* decides, for each of those co-resident
+vectors, whether it enters the DRAM cache and at which queue position.  The
+paper walks through a series of policies, each implemented here:
+
+====================  ==========================================================
+Policy                 Paper experiment
+====================  ==========================================================
+``NoPrefetchPolicy``   the baseline: cache only the requested vector
+``CacheAllBlockPolicy``  Figure 10: admit all 31 neighbours at the top
+``InsertAtPositionPolicy``  Figure 11a: admit all, but lower in the queue
+``ShadowAdmissionPolicy``   Figure 11b: admit only vectors present in a shadow cache
+``CombinedPolicy``          Figure 11c: shadow hit → top, otherwise → position
+``AccessThresholdPolicy``   Figure 12: admit only vectors seen > t times during
+                            the SHP training run (Bandana's final choice)
+====================  ==========================================================
+
+A policy exposes two hooks: :meth:`PrefetchPolicy.record_access` is called for
+every application-requested id (hit or miss) so stateful policies can track
+demand traffic, and :meth:`PrefetchPolicy.admit` is called for each prefetch
+candidate and returns the insertion position or ``None`` to reject it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from repro.caching.shadow import ShadowCache
+from repro.utils.validation import check_fraction, check_non_negative
+
+
+class PrefetchPolicy(abc.ABC):
+    """Decides whether (and where) a prefetched vector enters the cache."""
+
+    #: Name used in reports, benchmark output and the policy factory.
+    name: str = "policy"
+
+    def record_access(self, vector_id: int) -> None:
+        """Observe an application (demand) access.  Stateless policies ignore it."""
+
+    @abc.abstractmethod
+    def admit(self, vector_id: int) -> Optional[float]:
+        """Return the insertion position for a prefetched vector, or ``None``.
+
+        Position ``0.0`` is the top (MRU end) of the eviction queue, ``1.0``
+        the bottom.  ``None`` rejects the prefetch entirely.
+        """
+
+    def reset(self) -> None:
+        """Clear any internal state (e.g. between replay runs)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class NoPrefetchPolicy(PrefetchPolicy):
+    """The baseline policy: only the explicitly requested vector is cached."""
+
+    name = "no-prefetch"
+
+    def admit(self, vector_id: int) -> Optional[float]:
+        return None
+
+
+class CacheAllBlockPolicy(PrefetchPolicy):
+    """Admit every vector of the fetched block at the top of the queue (Fig. 10)."""
+
+    name = "cache-all-block"
+
+    def admit(self, vector_id: int) -> Optional[float]:
+        return 0.0
+
+
+class InsertAtPositionPolicy(PrefetchPolicy):
+    """Admit every prefetched vector at a fixed lower queue position (Fig. 11a)."""
+
+    name = "insert-at-position"
+
+    def __init__(self, position: float = 0.5):
+        check_fraction(position, "position")
+        self.position = float(position)
+
+    def admit(self, vector_id: int) -> Optional[float]:
+        return self.position
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"InsertAtPositionPolicy(position={self.position})"
+
+
+class ShadowAdmissionPolicy(PrefetchPolicy):
+    """Admit a prefetched vector only if it appears in the shadow cache (Fig. 11b).
+
+    The shadow cache tracks demand accesses only, so it approximates the
+    content of a no-prefetch cache of ``multiplier ×`` the real size.
+    """
+
+    name = "shadow-admission"
+
+    def __init__(self, real_cache_size: int, multiplier: float = 1.0):
+        self.real_cache_size = int(real_cache_size)
+        self.multiplier = float(multiplier)
+        self.shadow = ShadowCache(real_cache_size, multiplier)
+
+    def record_access(self, vector_id: int) -> None:
+        self.shadow.record_access(vector_id)
+
+    def admit(self, vector_id: int) -> Optional[float]:
+        return 0.0 if self.shadow.contains(vector_id) else None
+
+    def reset(self) -> None:
+        self.shadow.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ShadowAdmissionPolicy(real_cache_size={self.real_cache_size}, "
+            f"multiplier={self.multiplier})"
+        )
+
+
+class CombinedPolicy(PrefetchPolicy):
+    """Shadow hit → top of the queue; shadow miss → lower position (Fig. 11c)."""
+
+    name = "combined"
+
+    def __init__(
+        self,
+        real_cache_size: int,
+        position: float = 0.5,
+        multiplier: float = 1.0,
+    ):
+        check_fraction(position, "position")
+        self.position = float(position)
+        self.multiplier = float(multiplier)
+        self.real_cache_size = int(real_cache_size)
+        self.shadow = ShadowCache(real_cache_size, multiplier)
+
+    def record_access(self, vector_id: int) -> None:
+        self.shadow.record_access(vector_id)
+
+    def admit(self, vector_id: int) -> Optional[float]:
+        if self.shadow.contains(vector_id):
+            return 0.0
+        return self.position
+
+    def reset(self) -> None:
+        self.shadow.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CombinedPolicy(position={self.position}, multiplier={self.multiplier})"
+        )
+
+
+class AccessThresholdPolicy(PrefetchPolicy):
+    """Admit a prefetched vector only if its SHP-run access count exceeds ``t``.
+
+    This is the policy Bandana deploys (Section 4.3.2): the number of training
+    queries that contained a vector correlates with how much confidence SHP
+    had when placing it, and hence with how useful it is as a prefetch.
+    ``threshold`` is the paper's ``t``; the optimal value depends on the cache
+    size and is chosen by the miniature-cache tuner.
+    """
+
+    name = "access-threshold"
+
+    def __init__(self, access_counts: np.ndarray, threshold: float):
+        check_non_negative(threshold, "threshold")
+        self.access_counts = np.asarray(access_counts, dtype=np.int64)
+        if self.access_counts.ndim != 1:
+            raise ValueError("access_counts must be one-dimensional")
+        self.threshold = float(threshold)
+
+    def admit(self, vector_id: int) -> Optional[float]:
+        if vector_id >= self.access_counts.size:
+            return None
+        return 0.0 if self.access_counts[vector_id] > self.threshold else None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AccessThresholdPolicy(threshold={self.threshold})"
+
+
+_POLICY_REGISTRY: Dict[str, Type[PrefetchPolicy]] = {
+    NoPrefetchPolicy.name: NoPrefetchPolicy,
+    CacheAllBlockPolicy.name: CacheAllBlockPolicy,
+    InsertAtPositionPolicy.name: InsertAtPositionPolicy,
+    ShadowAdmissionPolicy.name: ShadowAdmissionPolicy,
+    CombinedPolicy.name: CombinedPolicy,
+    AccessThresholdPolicy.name: AccessThresholdPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> PrefetchPolicy:
+    """Instantiate a policy by its registered name.
+
+    Examples
+    --------
+    >>> make_policy("no-prefetch")
+    NoPrefetchPolicy()
+    >>> make_policy("insert-at-position", position=0.7)
+    InsertAtPositionPolicy(position=0.7)
+    """
+    try:
+        policy_cls = _POLICY_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {sorted(_POLICY_REGISTRY)}"
+        ) from None
+    return policy_cls(**kwargs)

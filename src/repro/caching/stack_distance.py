@@ -1,0 +1,168 @@
+"""Mattson stack distances and LRU hit-rate curves (the paper's Figure 3).
+
+The stack distance of an access is the number of *distinct* vectors referenced
+since the previous access to the same vector — equivalently its rank from the
+top of an infinite LRU queue at the moment of the access.  Because LRU has the
+inclusion property, a single pass computing stack distances yields the hit
+rate of *every* cache size at once: an access hits in a cache of ``c`` vectors
+iff its stack distance is ``≤ c``.
+
+The implementation uses the classic Fenwick-tree (binary indexed tree)
+algorithm: O(N log N) over a stream of N lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+#: Marker used for compulsory (first-time) accesses, which hit in no finite cache.
+COLD_MISS = -1
+
+
+class _FenwickTree:
+    """A Fenwick tree over positions 1..n supporting point update / prefix sum."""
+
+    def __init__(self, size: int):
+        self._tree = np.zeros(size + 1, dtype=np.int64)
+        self._size = size
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index <= self._size:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return int(total)
+
+
+def compute_stack_distances(id_stream: Union[np.ndarray, Sequence[int]]) -> np.ndarray:
+    """Stack distance of every access in an id stream.
+
+    Returns an int64 array the same length as the stream; compulsory (first)
+    accesses are marked :data:`COLD_MISS`.  Distances are 1-based: a distance
+    of 1 means the vector was the most recently used one.
+    """
+    stream = np.asarray(id_stream, dtype=np.int64)
+    if stream.ndim != 1:
+        raise ValueError("id_stream must be one-dimensional")
+    num_accesses = stream.size
+    distances = np.empty(num_accesses, dtype=np.int64)
+    if num_accesses == 0:
+        return distances
+
+    tree = _FenwickTree(num_accesses)
+    last_position: Dict[int, int] = {}
+    for position, vector_id in enumerate(stream.tolist()):
+        previous = last_position.get(vector_id)
+        if previous is None:
+            distances[position] = COLD_MISS
+        else:
+            # Number of distinct ids accessed strictly after `previous`:
+            # each distinct id keeps exactly one marker (at its latest access).
+            distances[position] = tree.prefix_sum(position - 1) - tree.prefix_sum(previous)
+            distances[position] += 1  # rank is 1-based (top of stack = 1)
+            tree.add(previous, -1)
+        tree.add(position, +1)
+        last_position[vector_id] = position
+    return distances
+
+
+@dataclass(frozen=True)
+class HitRateCurve:
+    """Hit rate as a function of cache size (in vectors) for one table.
+
+    Attributes
+    ----------
+    cache_sizes:
+        Monotonically increasing cache sizes.
+    hit_rates:
+        Hit rate achieved at each size.
+    total_lookups:
+        Number of lookups the curve was measured over; used to convert rates
+        into absolute hit counts when splitting a DRAM budget across tables.
+    """
+
+    cache_sizes: np.ndarray
+    hit_rates: np.ndarray
+    total_lookups: int
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.cache_sizes, dtype=np.int64)
+        rates = np.asarray(self.hit_rates, dtype=np.float64)
+        if sizes.shape != rates.shape or sizes.ndim != 1:
+            raise ValueError("cache_sizes and hit_rates must be 1-D arrays of equal length")
+        if sizes.size and np.any(np.diff(sizes) < 0):
+            raise ValueError("cache_sizes must be non-decreasing")
+        object.__setattr__(self, "cache_sizes", sizes)
+        object.__setattr__(self, "hit_rates", rates)
+
+    def hit_rate_at(self, cache_size: float) -> float:
+        """Interpolated hit rate at an arbitrary cache size."""
+        if self.cache_sizes.size == 0:
+            return 0.0
+        return float(
+            np.interp(cache_size, self.cache_sizes, self.hit_rates, left=0.0)
+        )
+
+    def hits_at(self, cache_size: float) -> float:
+        """Expected absolute number of hits at the given cache size."""
+        return self.hit_rate_at(cache_size) * self.total_lookups
+
+
+def hit_rate_curve(
+    source: Union[Trace, np.ndarray, Sequence[int]],
+    cache_sizes: Optional[Sequence[int]] = None,
+    num_points: int = 50,
+) -> HitRateCurve:
+    """Compute the LRU hit-rate curve of a trace or raw id stream.
+
+    Parameters
+    ----------
+    source:
+        Either a :class:`~repro.workloads.trace.Trace` (its lookups are
+        flattened in request order) or a 1-D id stream.
+    cache_sizes:
+        Cache sizes (in vectors) at which to evaluate the curve.  Defaults to
+        ``num_points`` sizes spread geometrically up to the number of distinct
+        vectors in the stream.
+    num_points:
+        Number of default evaluation points when ``cache_sizes`` is omitted.
+    """
+    if isinstance(source, Trace):
+        stream = source.flatten()
+    else:
+        stream = np.asarray(source, dtype=np.int64)
+    total = stream.size
+    if total == 0:
+        sizes = np.asarray(cache_sizes if cache_sizes is not None else [0], dtype=np.int64)
+        return HitRateCurve(sizes, np.zeros(sizes.size), total_lookups=0)
+
+    distances = compute_stack_distances(stream)
+    finite = distances[distances != COLD_MISS]
+
+    if cache_sizes is None:
+        max_size = max(1, int(np.unique(stream).size))
+        sizes = np.unique(
+            np.geomspace(1, max_size, num=num_points).astype(np.int64)
+        )
+    else:
+        sizes = np.asarray(sorted(cache_sizes), dtype=np.int64)
+
+    if finite.size:
+        sorted_distances = np.sort(finite)
+        hits = np.searchsorted(sorted_distances, sizes, side="right")
+    else:
+        hits = np.zeros(sizes.size, dtype=np.int64)
+    rates = hits / total
+    return HitRateCurve(sizes, rates, total_lookups=int(total))

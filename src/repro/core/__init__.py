@@ -1,0 +1,22 @@
+"""Bandana itself: configuration, metrics and the end-to-end store.
+
+``repro.core`` contains the paper's actual contribution, assembled from the
+substrates in the sibling packages: the :class:`~repro.core.bandana.BandanaStore`
+partitions every embedding table onto NVM blocks, splits the DRAM budget
+across tables, tunes each table's prefetch-admission threshold with miniature
+caches and then serves lookups while accounting for every NVM block read.
+"""
+
+from repro.core.bandana import BandanaStore, BandanaTableState
+from repro.core.config import BandanaConfig, TableCacheConfig
+from repro.core.metrics import CacheStats, EffectiveBandwidth, LatencyStats
+
+__all__ = [
+    "BandanaStore",
+    "BandanaTableState",
+    "BandanaConfig",
+    "TableCacheConfig",
+    "CacheStats",
+    "EffectiveBandwidth",
+    "LatencyStats",
+]

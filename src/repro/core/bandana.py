@@ -1,0 +1,372 @@
+"""The end-to-end Bandana store.
+
+:class:`BandanaStore` assembles the paper's full pipeline:
+
+1. **Placement** — each embedding table is partitioned onto 4 KB NVM blocks by
+   the configured algorithm (SHP trained on the table's training trace by
+   default; K-means variants and simple baselines are also available).
+2. **DRAM split** — the total DRAM cache budget is divided across tables, by
+   default greedily from per-table hit-rate curves (the paper's Dynacache-style
+   static assignment).
+3. **Admission tuning** — each table's prefetch-admission threshold ``t`` is
+   chosen by miniature-cache simulation at the table's assigned cache size.
+4. **Serving** — lookups hit the per-table DRAM cache first; misses read the
+   owning 4 KB block from a per-table simulated NVM device and the admission
+   policy decides which of the block's other vectors enter the cache.
+
+The store keeps all counters needed to report the paper's metrics (effective
+bandwidth, hit rates, device latency, endurance) and can optionally return the
+actual embedding values when built with an :class:`~repro.embeddings.EmbeddingModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.caching.allocation import allocate_dram_budget
+from repro.caching.lru import LRUCache
+from repro.caching.miniature import MiniatureCacheTuner
+from repro.caching.policies import (
+    AccessThresholdPolicy,
+    NoPrefetchPolicy,
+    PrefetchPolicy,
+)
+from repro.caching.replay import ReplayStats, replay_table_cache
+from repro.caching.stack_distance import HitRateCurve, hit_rate_curve
+from repro.core.config import BandanaConfig, TableCacheConfig
+from repro.core.metrics import CacheStats, EffectiveBandwidth
+from repro.embeddings.model import EmbeddingModel
+from repro.nvm.block import BlockLayout
+from repro.nvm.device import NVMDevice
+from repro.partitioning.base import Partitioner
+from repro.partitioning.frequency import FrequencyPartitioner
+from repro.partitioning.identity import IdentityPartitioner
+from repro.partitioning.kmeans import KMeansPartitioner
+from repro.partitioning.recursive_kmeans import RecursiveKMeansPartitioner
+from repro.partitioning.shp import SHPPartitioner
+from repro.workloads.characterization import access_counts
+from repro.workloads.trace import ModelTrace, Trace
+
+
+@dataclass
+class BandanaTableState:
+    """Everything the store keeps per embedding table."""
+
+    name: str
+    layout: BlockLayout
+    cache: LRUCache
+    policy: PrefetchPolicy
+    device: NVMDevice
+    cache_config: TableCacheConfig
+    access_counts: np.ndarray
+    stats: ReplayStats = field(default_factory=ReplayStats)
+    hit_rate_curve: Optional[HitRateCurve] = None
+    partition_runtime_seconds: float = 0.0
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Application-facing summary of the traffic served so far."""
+        return CacheStats.from_replay(self.stats)
+
+    @property
+    def effective_bandwidth(self) -> EffectiveBandwidth:
+        """Effective bandwidth of the traffic served so far."""
+        return EffectiveBandwidth.from_replay(self.stats)
+
+
+class BandanaStore:
+    """NVM-backed embedding storage with locality-aware placement and caching.
+
+    Use :meth:`BandanaStore.build` to construct a store from a training trace;
+    the constructor itself only wires together already-resolved per-table
+    state (useful for tests and custom pipelines).
+    """
+
+    def __init__(
+        self,
+        config: BandanaConfig,
+        tables: Dict[str, BandanaTableState],
+        embedding_model: Optional[EmbeddingModel] = None,
+    ):
+        self.config = config
+        self.tables = tables
+        self.embedding_model = embedding_model
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def build(
+        cls,
+        training_trace: ModelTrace,
+        config: Optional[BandanaConfig] = None,
+        embedding_model: Optional[EmbeddingModel] = None,
+        tuning_trace: Optional[ModelTrace] = None,
+        num_vectors: Optional[Mapping[str, int]] = None,
+    ) -> "BandanaStore":
+        """Build a store from a training trace.
+
+        Parameters
+        ----------
+        training_trace:
+            Per-table traces used to train the placement (and, by default, to
+            derive hit-rate curves and tune admission thresholds).
+        config:
+            Store configuration; defaults to :class:`BandanaConfig()`.
+        embedding_model:
+            Optional embedding values.  Required for the K-means partitioners
+            and for lookups that return actual vectors.
+        tuning_trace:
+            Optional separate trace for threshold tuning and DRAM allocation;
+            defaults to ``training_trace``.
+        num_vectors:
+            Table sizes; defaults to the embedding model's sizes or, failing
+            that, the sizes implied by the training trace.
+        """
+        config = config or BandanaConfig()
+        tuning_trace = tuning_trace or training_trace
+        if config.partitioner in ("kmeans", "recursive-kmeans") and embedding_model is None:
+            raise ValueError(
+                f"partitioner {config.partitioner!r} needs embedding values; "
+                "pass an embedding_model"
+            )
+
+        sizes = cls._resolve_table_sizes(training_trace, embedding_model, num_vectors)
+
+        # 1. placement + per-vector access counts
+        layouts: Dict[str, BlockLayout] = {}
+        counts: Dict[str, np.ndarray] = {}
+        runtimes: Dict[str, float] = {}
+        for name, trace in training_trace.items():
+            partitioner = cls._make_partitioner(config, name)
+            table_values = (
+                embedding_model[name] if embedding_model and name in embedding_model else None
+            )
+            result = partitioner.partition(sizes[name], trace=trace, table=table_values)
+            layouts[name] = result.layout(config.vectors_per_block)
+            runtimes[name] = result.runtime_seconds
+            table_counts = np.zeros(sizes[name], dtype=np.int64)
+            table_counts[: trace.num_vectors] = access_counts(trace)
+            counts[name] = table_counts
+
+        # 2. DRAM budget split across tables
+        curves: Dict[str, HitRateCurve] = {
+            name: hit_rate_curve(trace) for name, trace in tuning_trace.items()
+        }
+        cache_sizes = cls._allocate_budget(config, tuning_trace, curves)
+
+        # 3. per-table threshold tuning + state assembly
+        tuner = MiniatureCacheTuner(
+            sampling_rate=config.mini_cache_sampling_rate,
+            seed=config.seed,
+            thresholds=config.candidate_thresholds,
+            vector_bytes=config.vector_bytes,
+        )
+        tables: Dict[str, BandanaTableState] = {}
+        for name in training_trace:
+            cache_size = cache_sizes[name]
+            threshold = config.default_threshold
+            if config.tune_thresholds and cache_size > 0 and len(tuning_trace[name]) > 0:
+                selection = tuner.select_threshold(
+                    tuning_trace[name], layouts[name], counts[name], cache_size
+                )
+                threshold = selection.threshold
+            policy = AccessThresholdPolicy(counts[name], threshold)
+            device = NVMDevice(
+                num_blocks=layouts[name].num_blocks, block_bytes=config.block_bytes
+            )
+            tables[name] = BandanaTableState(
+                name=name,
+                layout=layouts[name],
+                cache=LRUCache(cache_size),
+                policy=policy,
+                device=device,
+                cache_config=TableCacheConfig(
+                    cache_size_vectors=cache_size, threshold=threshold
+                ),
+                access_counts=counts[name],
+                stats=ReplayStats(
+                    vector_bytes=config.vector_bytes,
+                    block_bytes=config.vectors_per_block * config.vector_bytes,
+                ),
+                hit_rate_curve=curves.get(name),
+                partition_runtime_seconds=runtimes[name],
+            )
+        return cls(config, tables, embedding_model=embedding_model)
+
+    # ---------------------------------------------------------------- serving
+    def lookup(self, table_name: str, vector_ids) -> Optional[np.ndarray]:
+        """Serve one query against one table.
+
+        Runs the cache/prefetch machinery (updating all counters) and returns
+        the embedding vectors when the store holds an embedding model, or
+        ``None`` in counting-only mode.
+        """
+        state = self._state(table_name)
+        ids = np.asarray(vector_ids, dtype=np.int64)
+        if ids.size:
+            replay_table_cache(
+                [ids],
+                state.layout,
+                state.policy,
+                cache=state.cache,
+                vector_bytes=self.config.vector_bytes,
+                device=state.device,
+                queue_depth=self.config.queue_depth,
+                stats=state.stats,
+            )
+        if self.embedding_model is not None and table_name in self.embedding_model:
+            return self.embedding_model[table_name].gather(ids)
+        return None
+
+    def lookup_request(
+        self, request: Mapping[str, Iterable[int]]
+    ) -> Dict[str, Optional[np.ndarray]]:
+        """Serve one multi-table request (mapping table name → ids)."""
+        return {name: self.lookup(name, ids) for name, ids in request.items()}
+
+    def pooled_features(self, request: Mapping[str, Iterable[int]]) -> np.ndarray:
+        """Serve a request and return the concatenated sum-pooled features.
+
+        Requires an embedding model; this is the read path a ranking model
+        consumes (see :class:`repro.embeddings.RecommendationModel`).
+        """
+        if self.embedding_model is None:
+            raise ValueError("pooled_features requires an embedding model")
+        for name, ids in request.items():
+            self.lookup(name, ids)
+        return self.embedding_model.pooled_features(request)
+
+    # ---------------------------------------------------------------- metrics
+    def table_stats(self) -> Dict[str, CacheStats]:
+        """Per-table cache statistics for the traffic served so far."""
+        return {name: state.cache_stats for name, state in self.tables.items()}
+
+    def aggregate_stats(self) -> ReplayStats:
+        """Sum of the per-table replay statistics."""
+        stats = None
+        for state in self.tables.values():
+            stats = state.stats if stats is None else stats.merge(state.stats)
+        return stats if stats is not None else ReplayStats()
+
+    def effective_bandwidth(self) -> EffectiveBandwidth:
+        """Effective bandwidth over all tables for the traffic served so far."""
+        return EffectiveBandwidth.from_replay(self.aggregate_stats())
+
+    def total_blocks_read(self) -> int:
+        """Total NVM block reads across all per-table devices."""
+        return sum(state.device.blocks_read for state in self.tables.values())
+
+    def dram_bytes(self) -> int:
+        """DRAM footprint of the configured caches, in bytes."""
+        return sum(
+            state.cache_config.cache_size_vectors * self.config.vector_bytes
+            for state in self.tables.values()
+        )
+
+    def nvm_bytes(self) -> int:
+        """NVM footprint of the stored tables, in bytes."""
+        return sum(
+            state.layout.num_blocks * self.config.block_bytes
+            for state in self.tables.values()
+        )
+
+    def reset_serving_state(self) -> None:
+        """Clear caches and counters (placement and thresholds are kept)."""
+        for state in self.tables.values():
+            state.cache.clear()
+            state.policy.reset()
+            state.device.reset_counters()
+            state.stats = ReplayStats(
+                vector_bytes=self.config.vector_bytes,
+                block_bytes=self.config.vectors_per_block * self.config.vector_bytes,
+            )
+
+    # ------------------------------------------------------------- baselines
+    def baseline_block_reads(self, eval_trace: ModelTrace) -> int:
+        """Block reads the paper's baseline policy would issue for a trace.
+
+        The baseline caches only demand vectors (no prefetching) in caches of
+        the same per-table sizes.  Used to report the effective-bandwidth
+        *increase* of the store.
+        """
+        total = 0
+        for name, trace in eval_trace.items():
+            state = self._state(name)
+            stats = replay_table_cache(
+                trace.queries,
+                state.layout,
+                NoPrefetchPolicy(),
+                cache_size=state.cache_config.cache_size_vectors,
+                vector_bytes=self.config.vector_bytes,
+            )
+            total += stats.block_reads
+        return total
+
+    # ----------------------------------------------------------------- private
+    def _state(self, table_name: str) -> BandanaTableState:
+        try:
+            return self.tables[table_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown table {table_name!r}; known tables: {sorted(self.tables)}"
+            ) from None
+
+    @staticmethod
+    def _resolve_table_sizes(
+        training_trace: ModelTrace,
+        embedding_model: Optional[EmbeddingModel],
+        num_vectors: Optional[Mapping[str, int]],
+    ) -> Dict[str, int]:
+        sizes: Dict[str, int] = {}
+        for name, trace in training_trace.items():
+            if num_vectors is not None and name in num_vectors:
+                sizes[name] = int(num_vectors[name])
+            elif embedding_model is not None and name in embedding_model:
+                sizes[name] = embedding_model[name].num_vectors
+            else:
+                sizes[name] = trace.num_vectors
+            if sizes[name] < trace.num_vectors:
+                raise ValueError(
+                    f"table {name!r}: trace references {trace.num_vectors} vectors "
+                    f"but the table size is {sizes[name]}"
+                )
+        return sizes
+
+    @staticmethod
+    def _make_partitioner(config: BandanaConfig, table_name: str) -> Partitioner:
+        if config.partitioner == "shp":
+            return SHPPartitioner(
+                vectors_per_block=config.vectors_per_block,
+                num_iterations=config.shp_iterations,
+                seed=config.seed,
+            )
+        if config.partitioner == "kmeans":
+            return KMeansPartitioner(num_clusters=config.kmeans_clusters, seed=config.seed)
+        if config.partitioner == "recursive-kmeans":
+            return RecursiveKMeansPartitioner(
+                num_top_clusters=min(256, config.kmeans_clusters),
+                num_sub_clusters=config.kmeans_clusters,
+                seed=config.seed,
+            )
+        if config.partitioner == "frequency":
+            return FrequencyPartitioner()
+        return IdentityPartitioner()
+
+    @staticmethod
+    def _allocate_budget(
+        config: BandanaConfig,
+        tuning_trace: ModelTrace,
+        curves: Dict[str, HitRateCurve],
+    ) -> Dict[str, int]:
+        names = list(tuning_trace.tables)
+        total = config.total_cache_vectors
+        if config.allocation == "uniform":
+            per_table = total // len(names)
+            return {name: per_table for name in names}
+        if config.allocation == "proportional":
+            shares = tuning_trace.lookup_shares()
+            return {name: int(round(total * shares[name])) for name in names}
+        # "hit-rate": greedy marginal allocation on the hit-rate curves.
+        return allocate_dram_budget(curves, total)

@@ -1,0 +1,137 @@
+"""Configuration objects for the end-to-end Bandana store.
+
+The defaults reproduce the paper's end-to-end configuration (Section 5): SHP
+placement trained with 16 iterations, 32 vectors per 4 KB block, a DRAM cache
+budget expressed in vectors, per-table admission thresholds tuned by miniature
+caches sampled at 0.1 %, and a hit-rate-curve-driven split of the DRAM budget
+across tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.utils.validation import check_fraction, check_positive
+
+#: Ways of splitting the DRAM budget across tables.
+ALLOCATION_POLICIES = ("hit-rate", "proportional", "uniform")
+
+#: Placement algorithms the store knows how to build.
+PARTITIONERS = ("shp", "kmeans", "recursive-kmeans", "frequency", "identity")
+
+
+@dataclass(frozen=True)
+class TableCacheConfig:
+    """Resolved per-table cache configuration (produced during the build).
+
+    Attributes
+    ----------
+    cache_size_vectors:
+        DRAM cache capacity assigned to the table, in vectors.
+    threshold:
+        Prefetch-admission threshold ``t``; ``None`` means "tune it with
+        miniature caches during the build".
+    """
+
+    cache_size_vectors: int
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.cache_size_vectors < 0:
+            raise ValueError("cache_size_vectors must be >= 0")
+        if self.threshold is not None and self.threshold < 0:
+            raise ValueError("threshold must be >= 0 when given")
+
+
+@dataclass(frozen=True)
+class BandanaConfig:
+    """Configuration of a :class:`~repro.core.bandana.BandanaStore`.
+
+    Attributes
+    ----------
+    vector_bytes:
+        Bytes per embedding vector as stored on NVM (128 in the paper).
+    block_bytes:
+        NVM block size (4096 in the paper).  ``vectors_per_block`` is derived.
+    total_cache_vectors:
+        Total DRAM budget across all tables, expressed in cached vectors
+        (the paper's end-to-end runs use 1–5 million; scaled runs use less).
+    partitioner:
+        Placement algorithm: one of :data:`PARTITIONERS`.
+    shp_iterations:
+        Refinement iterations per SHP bisection (paper: 16).
+    kmeans_clusters:
+        Cluster count when ``partitioner`` is a K-means variant.
+    allocation:
+        How the DRAM budget is split across tables: ``"hit-rate"`` (greedy on
+        the hit-rate curves, the paper's choice), ``"proportional"`` (by
+        lookup share) or ``"uniform"``.
+    tune_thresholds:
+        Whether to run the miniature-cache tuner; when false, ``default_threshold``
+        is used everywhere.
+    default_threshold:
+        Admission threshold used when tuning is disabled (or as a fallback for
+        tables whose tuning trace is empty).
+    mini_cache_sampling_rate:
+        Spatial sampling rate of the miniature caches (paper: 0.001).
+    candidate_thresholds:
+        Thresholds the tuner evaluates.  The paper sweeps 0–20 for its 5 B
+        lookup training runs; the default here is shifted upwards because the
+        scaled-down training traces concentrate more accesses per touched
+        vector, so the same admission selectivity corresponds to larger
+        absolute counts.
+    queue_depth:
+        Queue depth assumed for NVM latency accounting.
+    seed:
+        Base random seed for all stochastic components.
+    """
+
+    vector_bytes: int = 128
+    block_bytes: int = 4096
+    total_cache_vectors: int = 8000
+    partitioner: str = "shp"
+    shp_iterations: int = 16
+    kmeans_clusters: int = 256
+    allocation: str = "hit-rate"
+    tune_thresholds: bool = True
+    default_threshold: float = 50.0
+    mini_cache_sampling_rate: float = 0.001
+    candidate_thresholds: Sequence[float] = (0, 25, 50, 100, 200, 400)
+    queue_depth: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.vector_bytes, "vector_bytes")
+        check_positive(self.block_bytes, "block_bytes")
+        check_positive(self.total_cache_vectors, "total_cache_vectors")
+        check_positive(self.shp_iterations, "shp_iterations")
+        check_positive(self.kmeans_clusters, "kmeans_clusters")
+        check_positive(self.queue_depth, "queue_depth")
+        check_fraction(self.mini_cache_sampling_rate, "mini_cache_sampling_rate")
+        if self.block_bytes % self.vector_bytes != 0:
+            raise ValueError(
+                "block_bytes must be a multiple of vector_bytes "
+                f"({self.block_bytes} % {self.vector_bytes} != 0)"
+            )
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"partitioner must be one of {PARTITIONERS}, got {self.partitioner!r}"
+            )
+        if self.allocation not in ALLOCATION_POLICIES:
+            raise ValueError(
+                f"allocation must be one of {ALLOCATION_POLICIES}, got {self.allocation!r}"
+            )
+        if self.default_threshold < 0:
+            raise ValueError("default_threshold must be >= 0")
+        if not tuple(self.candidate_thresholds):
+            raise ValueError("candidate_thresholds must not be empty")
+        # Freeze the threshold list into a tuple for hashability.
+        object.__setattr__(
+            self, "candidate_thresholds", tuple(float(t) for t in self.candidate_thresholds)
+        )
+
+    @property
+    def vectors_per_block(self) -> int:
+        """Number of vectors per NVM block (32 in the paper's configuration)."""
+        return self.block_bytes // self.vector_bytes

@@ -1,0 +1,26 @@
+"""Embedding tables and the recommendation model that consumes them.
+
+The storage system under study holds *embedding tables*: dense matrices whose
+columns are short learned vectors (64 × fp16 = 128 B in the paper) indexed by
+sparse feature ids.  This package provides:
+
+* :class:`repro.embeddings.EmbeddingTable` — a NumPy-backed table with the
+  gather/update API the rest of the system uses,
+* :mod:`repro.embeddings.synthesis` — synthetic vector values whose geometry
+  is correlated with the workload's co-access topics, so that semantic
+  (K-means) placement has signal to exploit,
+* :class:`repro.embeddings.EmbeddingModel` and
+  :class:`repro.embeddings.RecommendationModel` — a DLRM-style model skeleton
+  used by the examples to exercise a realistic end-to-end read path.
+"""
+
+from repro.embeddings.table import EmbeddingTable
+from repro.embeddings.synthesis import synthesize_topic_vectors
+from repro.embeddings.model import EmbeddingModel, RecommendationModel
+
+__all__ = [
+    "EmbeddingTable",
+    "synthesize_topic_vectors",
+    "EmbeddingModel",
+    "RecommendationModel",
+]

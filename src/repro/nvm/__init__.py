@@ -1,0 +1,34 @@
+"""Block-addressable NVM device model and block layout machinery.
+
+The paper uses a 375 GB NVM block device whose read bandwidth saturates around
+2.3 GB/s and whose latency grows with queue depth (Figure 2) and with load
+(Figure 5).  Byte-addressable NVM DIMMs were not available, so the device is
+read in 4 KB blocks; a 128 B embedding-vector read therefore wastes 96 % of
+the device bandwidth unless neighbouring vectors in the block are useful.
+
+This package provides:
+
+* :class:`repro.nvm.BlockLayout` — the mapping from vector id to (block, slot)
+  induced by a placement order,
+* :class:`repro.nvm.NVMLatencyModel` — the queue-depth/throughput latency
+  curves calibrated to the paper's Figure 2/5 measurements,
+* :class:`repro.nvm.NVMDevice` — the device itself: block reads/writes,
+  counters, latency accounting and endurance tracking,
+* :class:`repro.nvm.EnduranceTracker` and :class:`repro.nvm.DRAMModel`.
+"""
+
+from repro.nvm.block import BlockLayout
+from repro.nvm.latency import NVMLatencyModel, LoadedLatency
+from repro.nvm.device import NVMDevice, NVMReadResult
+from repro.nvm.endurance import EnduranceTracker
+from repro.nvm.dram import DRAMModel
+
+__all__ = [
+    "BlockLayout",
+    "NVMLatencyModel",
+    "LoadedLatency",
+    "NVMDevice",
+    "NVMReadResult",
+    "EnduranceTracker",
+    "DRAMModel",
+]

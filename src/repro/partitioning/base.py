@@ -1,0 +1,79 @@
+"""Partitioner interface and result container.
+
+Every placement algorithm consumes some combination of the table's values and
+its training trace and produces a physical *order* — a permutation of vector
+ids.  The order is wrapped in a :class:`repro.nvm.BlockLayout` by
+:meth:`PartitionResult.layout` for consumption by the cache and device.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.embeddings.table import EmbeddingTable
+from repro.nvm.block import BlockLayout
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class PartitionResult:
+    """Output of a partitioner run.
+
+    Attributes
+    ----------
+    order:
+        Permutation of vector ids: ``order[i]`` is the id stored at physical
+        position ``i``.
+    runtime_seconds:
+        Wall-clock time the algorithm took (the paper reports these in
+        Figure 7).
+    algorithm:
+        Human-readable name of the algorithm that produced the order.
+    details:
+        Algorithm-specific diagnostics (iterations, objective values, ...).
+    """
+
+    order: np.ndarray
+    runtime_seconds: float
+    algorithm: str
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def layout(self, vectors_per_block: int) -> BlockLayout:
+        """Pack the order into fixed-size blocks."""
+        return BlockLayout(self.order, vectors_per_block)
+
+
+class Partitioner(abc.ABC):
+    """Base class of all placement algorithms."""
+
+    #: Name used in reports and benchmark output.
+    name: str = "partitioner"
+
+    @abc.abstractmethod
+    def partition(
+        self,
+        num_vectors: int,
+        trace: Optional[Trace] = None,
+        table: Optional[EmbeddingTable] = None,
+    ) -> PartitionResult:
+        """Produce a physical order for a table of ``num_vectors`` vectors.
+
+        Subclasses may require ``trace`` (supervised algorithms), ``table``
+        (semantic algorithms), both, or neither; they must raise
+        ``ValueError`` when a required input is missing.
+        """
+
+    def _timed(self, start_time: float) -> float:
+        """Seconds elapsed since ``start_time`` (helper for subclasses)."""
+        return time.perf_counter() - start_time
+
+    @staticmethod
+    def _validate_num_vectors(num_vectors: int) -> int:
+        if num_vectors <= 0:
+            raise ValueError(f"num_vectors must be positive, got {num_vectors}")
+        return int(num_vectors)

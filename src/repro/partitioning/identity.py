@@ -1,0 +1,38 @@
+"""The baseline placement: vectors stay in their original (id) order.
+
+This reproduces the paper's "original tables" configuration: blocks hold
+consecutive ids, which carry no co-access relationship, so prefetching whole
+blocks yields little benefit (Figure 10's "Original Tables" line).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.embeddings.table import EmbeddingTable
+from repro.partitioning.base import Partitioner, PartitionResult
+from repro.workloads.trace import Trace
+
+
+class IdentityPartitioner(Partitioner):
+    """Keeps the original table order (the paper's baseline placement)."""
+
+    name = "identity"
+
+    def partition(
+        self,
+        num_vectors: int,
+        trace: Optional[Trace] = None,
+        table: Optional[EmbeddingTable] = None,
+    ) -> PartitionResult:
+        num_vectors = self._validate_num_vectors(num_vectors)
+        start = time.perf_counter()
+        order = np.arange(num_vectors, dtype=np.int64)
+        return PartitionResult(
+            order=order,
+            runtime_seconds=self._timed(start),
+            algorithm=self.name,
+        )

@@ -1,0 +1,33 @@
+"""Trace-replay harness and experiment helpers.
+
+The paper's figures are all produced by replaying an evaluation trace against
+some configuration of placement + cache + policy and comparing NVM block reads
+against the no-prefetch baseline.  :func:`repro.simulation.simulate_table`
+does that for one table (Figures 6–12), :func:`repro.simulation.simulate_store`
+for a full :class:`~repro.core.bandana.BandanaStore` (Figures 13–16), and
+:mod:`repro.simulation.report` renders the results as the text tables the
+benchmark harnesses print.
+"""
+
+from repro.simulation.runner import (
+    TableSimulationResult,
+    StoreSimulationResult,
+    simulate_table,
+    simulate_store,
+    unlimited_cache_bandwidth_increase,
+)
+from repro.simulation.experiment import ExperimentRecord, ExperimentSweep
+from repro.simulation.report import format_table, format_percent, format_series
+
+__all__ = [
+    "TableSimulationResult",
+    "StoreSimulationResult",
+    "simulate_table",
+    "simulate_store",
+    "unlimited_cache_bandwidth_increase",
+    "ExperimentRecord",
+    "ExperimentSweep",
+    "format_table",
+    "format_percent",
+    "format_series",
+]

@@ -1,0 +1,194 @@
+"""Replay runners: per-table and whole-store simulation with baseline comparison.
+
+The paper's effective-bandwidth-increase numbers always compare a candidate
+configuration against the baseline policy (cache only the requested vector, no
+prefetching) replayed over the *same* evaluation trace with the *same* cache
+size.  The helpers here run both sides and package the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.caching.policies import CacheAllBlockPolicy, NoPrefetchPolicy, PrefetchPolicy
+from repro.caching.replay import (
+    ReplayStats,
+    effective_bandwidth_increase,
+    replay_table_cache,
+)
+from repro.core.bandana import BandanaStore
+from repro.core.metrics import CacheStats, EffectiveBandwidth
+from repro.nvm.block import BlockLayout
+from repro.workloads.trace import ModelTrace, Trace
+
+
+@dataclass(frozen=True)
+class TableSimulationResult:
+    """Outcome of replaying one table's trace under a candidate policy."""
+
+    stats: ReplayStats
+    baseline_stats: Optional[ReplayStats] = None
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Application-facing counters of the candidate run."""
+        return CacheStats.from_replay(self.stats)
+
+    @property
+    def effective_bandwidth(self) -> EffectiveBandwidth:
+        """Effective bandwidth of the candidate run."""
+        return EffectiveBandwidth.from_replay(self.stats)
+
+    @property
+    def bandwidth_increase(self) -> float:
+        """Effective-bandwidth increase over the baseline run (0.0 if no baseline)."""
+        if self.baseline_stats is None:
+            return 0.0
+        return effective_bandwidth_increase(self.baseline_stats, self.stats)
+
+
+def simulate_table(
+    trace: Trace,
+    layout: BlockLayout,
+    policy: PrefetchPolicy,
+    cache_size: Optional[int] = None,
+    vector_bytes: int = 128,
+    include_baseline: bool = True,
+    baseline_policy: Optional[PrefetchPolicy] = None,
+) -> TableSimulationResult:
+    """Replay one table's trace under ``policy`` and (optionally) the baseline.
+
+    Parameters
+    ----------
+    trace:
+        The evaluation trace.
+    layout:
+        Physical placement of the table.
+    policy:
+        Candidate prefetch-admission policy.
+    cache_size:
+        DRAM cache size in vectors; ``None`` reproduces the paper's
+        unlimited-cache placement studies.
+    vector_bytes:
+        Bytes per embedding vector.
+    include_baseline:
+        Whether to also replay the baseline policy for comparison.
+    baseline_policy:
+        The baseline policy; defaults to no-prefetch (the paper's baseline).
+    """
+    policy.reset()
+    stats = replay_table_cache(
+        trace.queries,
+        layout,
+        policy,
+        cache_size=cache_size,
+        vector_bytes=vector_bytes,
+    )
+    baseline_stats = None
+    if include_baseline:
+        baseline = baseline_policy or NoPrefetchPolicy()
+        baseline.reset()
+        baseline_stats = replay_table_cache(
+            trace.queries,
+            layout,
+            baseline,
+            cache_size=cache_size,
+            vector_bytes=vector_bytes,
+        )
+    return TableSimulationResult(stats=stats, baseline_stats=baseline_stats)
+
+
+def unlimited_cache_bandwidth_increase(
+    trace: Trace,
+    layout: BlockLayout,
+    vector_bytes: int = 128,
+) -> float:
+    """Effective-bandwidth increase of whole-block prefetching with an unlimited cache.
+
+    This is the measurement behind the paper's placement studies (Figures 6,
+    8 and 9): with no evictions, the only thing that matters is how many
+    distinct blocks must be read, i.e. how well the placement groups
+    co-accessed vectors.
+    """
+    result = simulate_table(
+        trace,
+        layout,
+        CacheAllBlockPolicy(),
+        cache_size=None,
+        vector_bytes=vector_bytes,
+        include_baseline=True,
+    )
+    return result.bandwidth_increase
+
+
+@dataclass(frozen=True)
+class StoreSimulationResult:
+    """Outcome of replaying a full model trace through a Bandana store."""
+
+    per_table: Dict[str, TableSimulationResult] = field(default_factory=dict)
+
+    @property
+    def total_block_reads(self) -> int:
+        """Candidate block reads summed over tables."""
+        return sum(result.stats.block_reads for result in self.per_table.values())
+
+    @property
+    def total_baseline_block_reads(self) -> int:
+        """Baseline block reads summed over tables."""
+        return sum(
+            result.baseline_stats.block_reads
+            for result in self.per_table.values()
+            if result.baseline_stats is not None
+        )
+
+    @property
+    def bandwidth_increase(self) -> float:
+        """Aggregate effective-bandwidth increase across all tables."""
+        candidate = self.total_block_reads
+        baseline = self.total_baseline_block_reads
+        if candidate == 0:
+            return 0.0 if baseline == 0 else float("inf")
+        return baseline / candidate - 1.0
+
+    @property
+    def aggregate_hit_rate(self) -> float:
+        """Hit rate over all tables' lookups."""
+        lookups = sum(r.stats.lookups for r in self.per_table.values())
+        hits = sum(r.stats.hits for r in self.per_table.values())
+        return hits / lookups if lookups else 0.0
+
+
+def simulate_store(
+    store: BandanaStore,
+    eval_trace: ModelTrace,
+    include_baseline: bool = True,
+    reset_first: bool = True,
+) -> StoreSimulationResult:
+    """Replay a full model trace through a built Bandana store.
+
+    Each table's queries are replayed through the store's per-table state (in
+    trace order); the per-table baseline is replayed with the same cache size
+    but no prefetching.  ``reset_first`` clears the store's serving state so
+    repeated simulations start cold, like the paper's runs.
+    """
+    if reset_first:
+        store.reset_serving_state()
+    results: Dict[str, TableSimulationResult] = {}
+    for name, trace in eval_trace.items():
+        state = store.tables[name]
+        for query in trace.queries:
+            store.lookup(name, query)
+        baseline_stats = None
+        if include_baseline:
+            baseline_stats = replay_table_cache(
+                trace.queries,
+                state.layout,
+                NoPrefetchPolicy(),
+                cache_size=state.cache_config.cache_size_vectors,
+                vector_bytes=store.config.vector_bytes,
+            )
+        results[name] = TableSimulationResult(
+            stats=state.stats, baseline_stats=baseline_stats
+        )
+    return StoreSimulationResult(per_table=results)

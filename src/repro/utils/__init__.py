@@ -1,0 +1,25 @@
+"""Small shared helpers: argument validation and sampling primitives."""
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_fraction,
+    check_array_1d_ints,
+)
+from repro.utils.sampling import (
+    spatial_hash_sample_mask,
+    sample_queries_spatially,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_fraction",
+    "check_array_1d_ints",
+    "spatial_hash_sample_mask",
+    "sample_queries_spatially",
+    "zipf_probabilities",
+]

@@ -1,0 +1,93 @@
+"""Sampling primitives shared by the workload generator and miniature caches.
+
+The miniature-cache technique (Waldspurger et al., ATC'17) relies on *spatial*
+hash sampling: a vector id is either always sampled or never sampled, so the
+reuse pattern of the sampled sub-population is statistically similar to the
+full population.  ``spatial_hash_sample_mask`` implements that selection with
+a splittable integer hash so the choice is deterministic, seed-dependent and
+independent of request order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_positive
+
+# Constants of the splitmix64 finaliser, a well-mixed 64-bit integer hash.
+_SPLITMIX_MULT_1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_MULT_2 = np.uint64(0x94D049BB133111EB)
+_SPLITMIX_INCR = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 hash of an int array, returning uint64."""
+    with np.errstate(over="ignore"):
+        z = values.astype(np.uint64) + _SPLITMIX_INCR
+        z = (z ^ (z >> np.uint64(30))) * _SPLITMIX_MULT_1
+        z = (z ^ (z >> np.uint64(27))) * _SPLITMIX_MULT_2
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def spatial_hash_sample_mask(ids: np.ndarray, rate: float, seed: int = 0) -> np.ndarray:
+    """Return a boolean mask selecting ids whose hash falls under ``rate``.
+
+    The same id always receives the same decision for a given ``seed``,
+    regardless of where it appears in the request stream — the property the
+    miniature-cache technique depends on.
+
+    Parameters
+    ----------
+    ids:
+        Integer array of vector ids (any shape).
+    rate:
+        Sampling rate in ``[0, 1]``.
+    seed:
+        Changes the hash so independent samples can be drawn.
+    """
+    check_fraction(rate, "rate")
+    ids = np.asarray(ids, dtype=np.int64)
+    if rate >= 1.0:
+        return np.ones(ids.shape, dtype=bool)
+    if rate <= 0.0:
+        return np.zeros(ids.shape, dtype=bool)
+    with np.errstate(over="ignore"):
+        seed_mix = np.uint64(seed % (2**64)) * np.uint64(0x5851F42D4C957F2D)
+        hashed = _splitmix64(ids.view(np.uint64) ^ seed_mix)
+    threshold = np.uint64(int(rate * float(np.iinfo(np.uint64).max)))
+    return hashed < threshold
+
+
+def sample_queries_spatially(
+    queries: Sequence[np.ndarray], rate: float, seed: int = 0
+) -> List[np.ndarray]:
+    """Spatially sample every query in a trace, dropping queries that become empty.
+
+    Used to build the miniature-cache request stream: each query keeps exactly
+    the ids selected by :func:`spatial_hash_sample_mask`.
+    """
+    sampled: List[np.ndarray] = []
+    for query in queries:
+        query = np.asarray(query, dtype=np.int64)
+        mask = spatial_hash_sample_mask(query, rate, seed=seed)
+        if mask.any():
+            sampled.append(query[mask])
+    return sampled
+
+
+def zipf_probabilities(n: int, alpha: float) -> np.ndarray:
+    """Return the probability vector of a Zipf(alpha) law over ``n`` ranks.
+
+    ``alpha = 0`` degenerates to the uniform distribution; larger ``alpha``
+    concentrates mass on the most popular ranks.  The vector is normalised to
+    sum to one.
+    """
+    check_positive(n, "n")
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    ranks = np.arange(1, int(n) + 1, dtype=np.float64)
+    weights = ranks ** (-float(alpha))
+    return weights / weights.sum()

@@ -1,0 +1,54 @@
+"""Argument-validation helpers used across the library.
+
+These raise ``ValueError``/``TypeError`` with consistent messages so that the
+public API fails loudly and early on bad configuration instead of producing
+silently wrong simulation results.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return ``value`` if it is strictly positive, else raise ``ValueError``."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if it is >= 0, else raise ``ValueError``."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Return ``value`` if ``low <= value <= high``, else raise ``ValueError``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Return ``value`` if it lies in ``[0, 1]``, else raise ``ValueError``."""
+    return check_in_range(value, 0.0, 1.0, name)
+
+
+def check_array_1d_ints(values: Any, name: str) -> np.ndarray:
+    """Coerce ``values`` to a 1-D ``int64`` array, raising on bad shapes.
+
+    Accepts lists, tuples and integer numpy arrays.  Floating point inputs are
+    rejected because vector ids are identities, not quantities.
+    """
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"{name} must contain integers, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=False)

@@ -1,0 +1,81 @@
+"""Shared fixtures: a small synthetic table/workload reused across the suite.
+
+The fixtures are deliberately tiny (a few thousand vectors, tens of thousands
+of lookups) so the full suite runs in well under a minute, while still
+exercising the same code paths the benchmarks use at larger scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings import EmbeddingTable, synthesize_topic_vectors
+from repro.partitioning import SHPPartitioner
+from repro.workloads import SyntheticTraceGenerator, TableSpec
+from repro.workloads.trace import Trace
+
+VECTORS_PER_BLOCK = 32
+
+
+def make_spec(
+    name: str = "test-table",
+    num_vectors: int = 4096,
+    avg_lookups: float = 24.0,
+    compulsory: float = 0.15,
+    alpha: float = 0.9,
+) -> TableSpec:
+    """A small table spec usable by any test."""
+    return TableSpec(
+        name=name,
+        num_vectors=num_vectors,
+        avg_lookups_per_query=avg_lookups,
+        lookup_share=0.25,
+        compulsory_miss_rate=compulsory,
+        popularity_alpha=alpha,
+        num_topics=64,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_spec() -> TableSpec:
+    return make_spec()
+
+
+@pytest.fixture(scope="session")
+def generator(small_spec) -> SyntheticTraceGenerator:
+    return SyntheticTraceGenerator(small_spec, seed=7, expected_lookups=6000)
+
+
+@pytest.fixture(scope="session")
+def train_trace(generator) -> Trace:
+    return generator.generate_lookups(12000)
+
+
+@pytest.fixture(scope="session")
+def eval_trace(generator) -> Trace:
+    return generator.generate_lookups(6000)
+
+
+@pytest.fixture(scope="session")
+def shp_layout(small_spec, train_trace):
+    partitioner = SHPPartitioner(
+        vectors_per_block=VECTORS_PER_BLOCK, num_iterations=8, seed=0
+    )
+    result = partitioner.partition(small_spec.num_vectors, trace=train_trace)
+    return result.layout(VECTORS_PER_BLOCK)
+
+
+@pytest.fixture(scope="session")
+def embedding_table(small_spec, generator) -> EmbeddingTable:
+    values = synthesize_topic_vectors(
+        generator.topic_of(), dim=16, noise=0.4, seed=3, dtype=np.float32
+    )
+    return EmbeddingTable(
+        small_spec.name, small_spec.num_vectors, dim=16, dtype=np.float32, values=values
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

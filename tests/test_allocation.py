@@ -1,0 +1,70 @@
+"""Tests for the DRAM-budget allocation across tables."""
+
+import numpy as np
+import pytest
+
+from repro.caching.allocation import allocate_dram_budget
+from repro.caching.stack_distance import HitRateCurve
+
+
+def make_curve(max_hit_rate: float, saturation: int, total_lookups: int) -> HitRateCurve:
+    sizes = np.array([0, saturation // 2, saturation, saturation * 4])
+    rates = np.array([0.0, 0.7 * max_hit_rate, max_hit_rate, max_hit_rate])
+    return HitRateCurve(sizes, rates, total_lookups=total_lookups)
+
+
+class TestAllocateDramBudget:
+    def test_budget_respected(self):
+        curves = {
+            "a": make_curve(0.8, 1000, 100_000),
+            "b": make_curve(0.5, 1000, 50_000),
+        }
+        allocation = allocate_dram_budget(curves, total_vectors=1500, chunk_vectors=100)
+        assert sum(allocation.values()) <= 1500
+        assert set(allocation) == {"a", "b"}
+
+    def test_hotter_table_gets_more(self):
+        # Table "hot" serves 10x the lookups with the same curve shape, so the
+        # greedy allocation must favour it.
+        curves = {
+            "hot": make_curve(0.8, 1000, 1_000_000),
+            "cold": make_curve(0.8, 1000, 100_000),
+        }
+        allocation = allocate_dram_budget(curves, total_vectors=1200, chunk_vectors=50)
+        assert allocation["hot"] > allocation["cold"]
+
+    def test_min_per_table(self):
+        curves = {"a": make_curve(0.9, 100, 1000), "b": make_curve(0.1, 100, 10)}
+        allocation = allocate_dram_budget(
+            curves, total_vectors=400, chunk_vectors=50, min_per_table=100
+        )
+        assert allocation["b"] >= 100
+
+    def test_min_per_table_exceeding_budget_rejected(self):
+        curves = {"a": make_curve(0.5, 10, 10), "b": make_curve(0.5, 10, 10)}
+        with pytest.raises(ValueError):
+            allocate_dram_budget(curves, total_vectors=100, min_per_table=80)
+
+    def test_saturated_curves_spread_remainder(self):
+        curves = {"a": make_curve(0.0, 10, 0), "b": make_curve(0.0, 10, 0)}
+        allocation = allocate_dram_budget(curves, total_vectors=100, chunk_vectors=10)
+        assert sum(allocation.values()) <= 100
+
+    def test_empty_curves_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_dram_budget({}, total_vectors=10)
+
+    def test_matches_exhaustive_two_table_optimum(self):
+        """Greedy allocation on convex curves should match brute force."""
+        curves = {
+            "a": HitRateCurve(np.array([0, 100, 200, 400]), np.array([0, 0.5, 0.7, 0.8]), 10_000),
+            "b": HitRateCurve(np.array([0, 100, 200, 400]), np.array([0, 0.3, 0.5, 0.6]), 20_000),
+        }
+        budget, chunk = 400, 50
+        allocation = allocate_dram_budget(curves, total_vectors=budget, chunk_vectors=chunk)
+        greedy_hits = sum(curves[n].hits_at(v) for n, v in allocation.items())
+        best_hits = max(
+            curves["a"].hits_at(x) + curves["b"].hits_at(budget - x)
+            for x in range(0, budget + 1, chunk)
+        )
+        assert greedy_hits >= best_hits - 1e-6

@@ -1,0 +1,95 @@
+"""Tests for the Bandana configuration and metric containers."""
+
+import pytest
+
+from repro.caching.replay import ReplayStats
+from repro.core.config import BandanaConfig, TableCacheConfig
+from repro.core.metrics import CacheStats, EffectiveBandwidth, LatencyStats
+from repro.nvm.latency import NVMLatencyModel
+
+
+class TestBandanaConfig:
+    def test_defaults_match_paper_geometry(self):
+        config = BandanaConfig()
+        assert config.vector_bytes == 128
+        assert config.block_bytes == 4096
+        assert config.vectors_per_block == 32
+        assert config.partitioner == "shp"
+
+    def test_block_must_be_multiple_of_vector(self):
+        with pytest.raises(ValueError):
+            BandanaConfig(vector_bytes=100, block_bytes=4096)
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(ValueError):
+            BandanaConfig(partitioner="magic")
+
+    def test_unknown_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            BandanaConfig(allocation="fair")
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            BandanaConfig(candidate_thresholds=())
+
+    def test_vector_size_sweep(self):
+        # Figure 16 changes the vector size; vectors_per_block must follow.
+        assert BandanaConfig(vector_bytes=64).vectors_per_block == 64
+        assert BandanaConfig(vector_bytes=256).vectors_per_block == 16
+
+    def test_table_cache_config_validation(self):
+        TableCacheConfig(cache_size_vectors=0, threshold=None)
+        with pytest.raises(ValueError):
+            TableCacheConfig(cache_size_vectors=-1)
+        with pytest.raises(ValueError):
+            TableCacheConfig(cache_size_vectors=1, threshold=-2)
+
+
+class TestCacheStats:
+    def test_from_replay(self):
+        replay = ReplayStats(lookups=10, hits=7, misses=3, prefetch_admitted=4, prefetch_hits=2)
+        stats = CacheStats.from_replay(replay)
+        assert stats.hit_rate == pytest.approx(0.7)
+        assert stats.prefetch_accuracy == pytest.approx(0.5)
+        assert stats.block_reads == 3
+
+    def test_zero_lookups(self):
+        stats = CacheStats(0, 0, 0, 0, 0, 0, 0)
+        assert stats.hit_rate == 0.0
+        assert stats.prefetch_accuracy == 0.0
+
+
+class TestEffectiveBandwidth:
+    def test_fraction(self):
+        bandwidth = EffectiveBandwidth(app_bytes=128, nvm_bytes=4096)
+        assert bandwidth.fraction == pytest.approx(128 / 4096)
+
+    def test_increase_over_baseline(self):
+        baseline = EffectiveBandwidth(app_bytes=1000, nvm_bytes=4000)
+        candidate = EffectiveBandwidth(app_bytes=1000, nvm_bytes=2000)
+        assert candidate.increase_over(baseline) == pytest.approx(1.0)
+
+    def test_zero_nvm_bytes(self):
+        assert EffectiveBandwidth(10, 0).fraction == 0.0
+
+    def test_from_replay(self):
+        replay = ReplayStats(vector_bytes=128, block_bytes=4096, lookups=10, misses=2)
+        bandwidth = EffectiveBandwidth.from_replay(replay)
+        assert bandwidth.app_bytes == 1280
+        assert bandwidth.nvm_bytes == 8192
+
+
+class TestLatencyStats:
+    def test_unloaded(self):
+        stats = LatencyStats.from_block_reads(100, queue_depth=4)
+        model = NVMLatencyModel()
+        assert stats.mean_us == pytest.approx(model.mean_latency_us(4))
+        assert stats.total_us == pytest.approx(100 * stats.mean_us)
+
+    def test_loaded_latency_higher(self):
+        model = NVMLatencyModel()
+        unloaded = LatencyStats.from_block_reads(10, model)
+        loaded = LatencyStats.from_block_reads(
+            10, model, device_throughput_mbps=0.95 * model.bandwidth_gbps(8) * 1000
+        )
+        assert loaded.mean_us > unloaded.mean_us

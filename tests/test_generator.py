@@ -1,0 +1,121 @@
+"""Tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    SyntheticTraceGenerator,
+    build_generators,
+    generate_model_trace,
+    paper_shaped_lookups,
+    scaled_table_specs,
+)
+from tests.conftest import make_spec
+
+
+class TestPaperShapedLookups:
+    def test_density_formula(self):
+        spec = make_spec(num_vectors=3200, compulsory=0.1)
+        lookups = paper_shaped_lookups(spec, vectors_per_block=32, unique_per_block=2.0)
+        assert lookups == pytest.approx(2.0 * 100 / 0.1, rel=0.01)
+
+    def test_monotone_in_density(self):
+        spec = make_spec()
+        assert paper_shaped_lookups(spec, unique_per_block=1.0) < paper_shaped_lookups(
+            spec, unique_per_block=3.0
+        )
+
+
+class TestGeneratorStructure:
+    def test_reproducible_given_seed(self):
+        spec = make_spec(num_vectors=2048)
+        a = SyntheticTraceGenerator(spec, seed=5, expected_lookups=3000).generate(40)
+        b = SyntheticTraceGenerator(spec, seed=5, expected_lookups=3000).generate(40)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        spec = make_spec(num_vectors=2048)
+        a = SyntheticTraceGenerator(spec, seed=1, expected_lookups=3000).generate(40)
+        b = SyntheticTraceGenerator(spec, seed=2, expected_lookups=3000).generate(40)
+        assert a != b
+
+    def test_ids_within_table(self, generator, eval_trace, small_spec):
+        flat = eval_trace.flatten()
+        assert flat.min() >= 0
+        assert flat.max() < small_spec.num_vectors
+
+    def test_traffic_stays_in_active_set(self, generator, eval_trace):
+        active = set(generator.active_ids.tolist())
+        assert set(eval_trace.unique_vectors().tolist()) <= active
+
+    def test_topic_of_covers_every_vector(self, generator, small_spec):
+        topics = generator.topic_of()
+        assert topics.shape == (small_spec.num_vectors,)
+        assert topics.min() >= 0
+        assert topics.max() < generator.num_topics
+
+    def test_queries_have_distinct_ids(self, eval_trace):
+        for query in eval_trace.queries[:100]:
+            assert len(np.unique(query)) == len(query)
+
+
+class TestGeneratorCalibration:
+    def test_avg_query_size_close_to_spec(self, eval_trace, small_spec):
+        assert (
+            0.6 * small_spec.avg_lookups_per_query
+            < eval_trace.avg_lookups_per_query
+            <= 1.3 * small_spec.avg_lookups_per_query
+        )
+
+    def test_compulsory_miss_rate_in_band(self, small_spec):
+        generator = SyntheticTraceGenerator(small_spec, seed=11, expected_lookups=6000)
+        trace = generator.generate_lookups(6000)
+        measured = trace.unique_vectors().size / trace.num_lookups
+        # The calibration targets the spec value; accept a generous band since
+        # query-level clustering inflates it somewhat.
+        assert 0.5 * small_spec.compulsory_miss_rate < measured < 3.5 * small_spec.compulsory_miss_rate
+
+    def test_skewed_table_more_cacheable_than_uniform(self):
+        skewed = make_spec(name="skewed", compulsory=0.05, alpha=1.1)
+        uniform = make_spec(name="uniform", compulsory=0.6, alpha=0.4)
+        t_skewed = SyntheticTraceGenerator(skewed, seed=3, expected_lookups=4000).generate_lookups(4000)
+        t_uniform = SyntheticTraceGenerator(uniform, seed=3, expected_lookups=4000).generate_lookups(4000)
+        rate_skewed = t_skewed.unique_vectors().size / t_skewed.num_lookups
+        rate_uniform = t_uniform.unique_vectors().size / t_uniform.num_lookups
+        assert rate_skewed < rate_uniform
+
+
+class TestModelTraceGeneration:
+    def test_share_split_matches_table1(self):
+        specs = scaled_table_specs(1 / 2000, names=["table1", "table2", "table8"])
+        model = generate_model_trace(specs, total_lookups=20000, seed=0, split="share")
+        shares = model.lookup_shares()
+        # table2 serves the largest share of lookups, as in the paper.
+        assert max(shares, key=shares.get) == "table2"
+
+    def test_paper_shaped_split_ignores_total(self):
+        specs = scaled_table_specs(1 / 2000, names=["table1", "table8"])
+        model = generate_model_trace(specs, seed=0, split="paper-shaped", lookups_scale=0.5)
+        assert model.total_lookups > 0
+
+    def test_share_split_requires_total(self):
+        specs = scaled_table_specs(1 / 2000, names=["table1"])
+        with pytest.raises(ValueError):
+            generate_model_trace(specs, split="share")
+
+    def test_unknown_split_rejected(self):
+        specs = scaled_table_specs(1 / 2000, names=["table1"])
+        with pytest.raises(ValueError):
+            generate_model_trace(specs, total_lookups=100, split="bogus")
+
+    def test_build_generators_shared_structure(self):
+        specs = scaled_table_specs(1 / 2000, names=["table1", "table2"])
+        generators = build_generators(specs, seed=4)
+        assert set(generators) == {"table1", "table2"}
+        train = generate_model_trace(specs, seed=4, split="paper-shaped", generators=generators, lookups_scale=0.5)
+        evaluation = generate_model_trace(specs, seed=4, split="paper-shaped", generators=generators, lookups_scale=0.25)
+        # Both traces must reference only each generator's active set.
+        for name in specs:
+            active = set(generators[name].active_ids.tolist())
+            assert set(train[name].unique_vectors().tolist()) <= active
+            assert set(evaluation[name].unique_vectors().tolist()) <= active

@@ -1,0 +1,70 @@
+"""Tests for the miniature-cache threshold tuner (paper Table 2 / Figure 14)."""
+
+import numpy as np
+import pytest
+
+from repro.caching.miniature import MiniatureCacheTuner, ThresholdSelection
+from repro.workloads.characterization import access_counts
+
+
+class TestMiniatureCacheTuner:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MiniatureCacheTuner(sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            MiniatureCacheTuner(sampling_rate=1.5)
+        with pytest.raises(ValueError):
+            MiniatureCacheTuner(thresholds=[])
+
+    def test_selection_structure(self, train_trace, eval_trace, shp_layout):
+        counts = access_counts(train_trace)
+        tuner = MiniatureCacheTuner(sampling_rate=0.2, seed=0, thresholds=(0, 50, 200))
+        selection = tuner.select_threshold(eval_trace, shp_layout, counts, cache_size=400)
+        assert isinstance(selection, ThresholdSelection)
+        assert selection.threshold in (0, 50, 200)
+        assert set(selection.gains) == {0, 50, 200}
+        assert selection.miniature_cache_size == int(round(400 * 0.2))
+        assert selection.baseline_stats is not None
+
+    def test_full_rate_uses_real_cache_size(self, train_trace, eval_trace, shp_layout):
+        counts = access_counts(train_trace)
+        tuner = MiniatureCacheTuner(sampling_rate=1.0, thresholds=(0, 100))
+        selection = tuner.select_threshold(eval_trace, shp_layout, counts, cache_size=300)
+        assert selection.miniature_cache_size == 300
+
+    def test_picks_best_gain(self, train_trace, eval_trace, shp_layout):
+        counts = access_counts(train_trace)
+        tuner = MiniatureCacheTuner(sampling_rate=0.3, seed=1, thresholds=(0, 50, 100, 400))
+        selection = tuner.select_threshold(eval_trace, shp_layout, counts, cache_size=300)
+        assert selection.gains[selection.threshold] == pytest.approx(
+            max(selection.gains.values())
+        )
+
+    def test_sampled_selection_close_to_full(self, train_trace, eval_trace, shp_layout):
+        """The miniature simulation should pick a threshold whose *full-cache*
+        gain is close to the best full-cache gain (the paper's Table 2 claim)."""
+        counts = access_counts(train_trace)
+        thresholds = (0, 50, 100, 400)
+        oracle = MiniatureCacheTuner(sampling_rate=1.0, thresholds=thresholds)
+        sampled = MiniatureCacheTuner(sampling_rate=0.25, seed=3, thresholds=thresholds)
+        cache_size = 400
+        full = oracle.select_threshold(eval_trace, shp_layout, counts, cache_size)
+        mini = sampled.select_threshold(eval_trace, shp_layout, counts, cache_size)
+        best_gain = max(full.gains.values())
+        chosen_gain_at_full = full.gains[mini.threshold]
+        # Allow a modest degradation versus the oracle's best threshold.
+        assert chosen_gain_at_full >= best_gain - 0.35
+
+    def test_multiple_cache_sizes(self, train_trace, eval_trace, shp_layout):
+        counts = access_counts(train_trace)
+        tuner = MiniatureCacheTuner(sampling_rate=0.25, thresholds=(0, 100))
+        selections = tuner.select_thresholds_for_sizes(
+            eval_trace, shp_layout, counts, cache_sizes=[200, 400]
+        )
+        assert set(selections) == {200, 400}
+
+    def test_invalid_cache_size(self, train_trace, eval_trace, shp_layout):
+        counts = access_counts(train_trace)
+        tuner = MiniatureCacheTuner(sampling_rate=0.5)
+        with pytest.raises(ValueError):
+            tuner.select_threshold(eval_trace, shp_layout, counts, cache_size=0)

@@ -1,0 +1,176 @@
+"""Tests for the simulated NVM device, latency model, endurance and DRAM model."""
+
+import numpy as np
+import pytest
+
+from repro.nvm.device import NVMDevice
+from repro.nvm.dram import DRAMModel
+from repro.nvm.endurance import EnduranceTracker
+from repro.nvm.latency import NVMLatencyModel
+
+
+class TestLatencyModel:
+    def test_bandwidth_increases_with_queue_depth(self):
+        model = NVMLatencyModel()
+        bandwidths = [model.bandwidth_gbps(qd) for qd in (1, 2, 4, 8)]
+        assert all(b2 > b1 for b1, b2 in zip(bandwidths, bandwidths[1:]))
+        assert bandwidths[-1] < model.max_bandwidth_gbps
+
+    def test_latency_increases_with_queue_depth(self):
+        model = NVMLatencyModel()
+        assert model.mean_latency_us(8) > model.mean_latency_us(1)
+        assert model.p99_latency_us(8) > model.mean_latency_us(8)
+
+    def test_paper_figure2_magnitudes(self):
+        # Figure 2: ~2.3 GB/s saturated bandwidth, ~10 µs unloaded latency.
+        model = NVMLatencyModel()
+        assert 1.5 < model.bandwidth_gbps(8) < 2.3
+        assert 5 < model.mean_latency_us(1) < 20
+
+    def test_loaded_latency_spikes_near_saturation(self):
+        model = NVMLatencyModel()
+        capacity = model.bandwidth_gbps(8) * 1000
+        low = model.loaded_latency(0.1 * capacity)
+        high = model.loaded_latency(0.97 * capacity)
+        saturated = model.loaded_latency(1.5 * capacity)
+        assert high.mean_us > 2 * low.mean_us
+        assert saturated.mean_us > high.mean_us
+
+    def test_application_latency_baseline_vs_full_effective_bw(self):
+        # Figure 5: at the same application throughput, the 3% effective
+        # bandwidth baseline saturates while 100% effective bandwidth is fine.
+        model = NVMLatencyModel()
+        app_mbps = 200.0
+        baseline = model.application_latency(app_mbps, 128 / 4096)
+        full = model.application_latency(app_mbps, 1.0)
+        assert baseline.mean_us > 5 * full.mean_us
+
+    def test_invalid_inputs(self):
+        model = NVMLatencyModel()
+        with pytest.raises(ValueError):
+            model.bandwidth_gbps(0)
+        with pytest.raises(ValueError):
+            model.loaded_latency(-1)
+        with pytest.raises(ValueError):
+            model.application_latency(100, 0.0)
+
+    def test_blocks_per_second(self):
+        model = NVMLatencyModel()
+        assert model.blocks_per_second(8) == pytest.approx(
+            model.bandwidth_gbps(8) * 1e9 / 4096
+        )
+
+
+class TestNVMDevice:
+    def test_read_counts_and_latency(self):
+        device = NVMDevice(num_blocks=10, block_bytes=4096)
+        result = device.read_block(3)
+        assert result.block_id == 3
+        assert result.latency_us > 0
+        assert device.blocks_read == 1
+        assert device.bytes_read == 4096
+        assert device.mean_read_latency_us == pytest.approx(result.latency_us)
+
+    def test_read_blocks_batch_latency(self):
+        device = NVMDevice(num_blocks=100)
+        latency = device.read_blocks(list(range(16)), queue_depth=8)
+        assert device.blocks_read == 16
+        # 16 reads at queue depth 8 = 2 serial rounds.
+        assert latency == pytest.approx(2 * device.latency_model.mean_latency_us(8))
+
+    def test_write_and_payload_roundtrip(self):
+        device = NVMDevice(num_blocks=4, block_bytes=64)
+        payload = np.arange(16, dtype=np.float32)
+        device.write_block(1, payload)
+        np.testing.assert_array_equal(device.read_block(1).data, payload)
+        assert device.blocks_written == 1
+        assert device.endurance.bytes_written == 64
+
+    def test_oversized_payload_rejected(self):
+        device = NVMDevice(num_blocks=4, block_bytes=64)
+        with pytest.raises(ValueError):
+            device.write_block(0, np.zeros(1000, dtype=np.float64))
+
+    def test_out_of_range_block_rejected(self):
+        device = NVMDevice(num_blocks=4)
+        with pytest.raises(IndexError):
+            device.read_block(4)
+        with pytest.raises(IndexError):
+            device.write_block(-1)
+
+    def test_per_block_tracking(self):
+        device = NVMDevice(num_blocks=4, track_per_block_reads=True)
+        device.read_block(2)
+        device.read_block(2)
+        assert device.per_block_reads.tolist() == [0, 0, 2, 0]
+
+    def test_reset_counters_keeps_endurance(self):
+        device = NVMDevice(num_blocks=4)
+        device.write_block(0)
+        device.read_block(0)
+        device.reset_counters()
+        assert device.blocks_read == 0
+        assert device.endurance.bytes_written == 4096
+
+    def test_write_all_blocks(self):
+        device = NVMDevice(num_blocks=8, block_bytes=128)
+        device.write_all_blocks()
+        assert device.endurance.device_writes == pytest.approx(1.0)
+
+
+class TestEnduranceTracker:
+    def test_dwpd_accounting(self):
+        tracker = EnduranceTracker(capacity_bytes=1000, dwpd_limit=30)
+        tracker.record_write(15_000)   # 15 device writes
+        tracker.advance_time(1.0)
+        assert tracker.device_writes == pytest.approx(15.0)
+        assert tracker.drive_writes_per_day == pytest.approx(15.0)
+        assert tracker.within_budget
+        assert tracker.headroom() == pytest.approx(15.0)
+
+    def test_budget_violation(self):
+        tracker = EnduranceTracker(capacity_bytes=1000, dwpd_limit=10)
+        tracker.record_write(20_000)
+        tracker.advance_time(1.0)
+        assert not tracker.within_budget
+
+    def test_no_time_means_no_violation(self):
+        tracker = EnduranceTracker(capacity_bytes=1000)
+        tracker.record_write(10**9)
+        assert tracker.drive_writes_per_day == 0.0
+        assert tracker.within_budget
+
+    def test_reset(self):
+        tracker = EnduranceTracker(capacity_bytes=1000)
+        tracker.record_write(500)
+        tracker.advance_time(2)
+        tracker.reset()
+        assert tracker.bytes_written == 0 and tracker.elapsed_days == 0
+
+    def test_paper_retraining_rate_within_endurance(self):
+        # The paper: tables are rewritten 10-20 times/day, device allows 30.
+        tracker = EnduranceTracker(capacity_bytes=375 * 10**9, dwpd_limit=30)
+        tracker.record_write(20 * 375 * 10**9)
+        tracker.advance_time(1.0)
+        assert tracker.within_budget
+
+
+class TestDRAMModel:
+    def test_cost_monotone_in_dram(self):
+        dram = DRAMModel()
+        assert dram.cost(2 * 1024**3) > dram.cost(1024**3)
+
+    def test_bandana_saves_cost(self):
+        dram = DRAMModel()
+        total = 100 * 1024**3
+        saving = dram.savings_vs_all_dram(total, dram_cache_bytes=total // 20)
+        assert 0.5 < saving < 1.0
+
+    def test_cache_larger_than_total_rejected(self):
+        dram = DRAMModel()
+        with pytest.raises(ValueError):
+            dram.savings_vs_all_dram(10, 20)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMModel().cost(-1)

@@ -1,0 +1,99 @@
+"""Tests for the prefetch-admission policies."""
+
+import numpy as np
+import pytest
+
+from repro.caching.policies import (
+    AccessThresholdPolicy,
+    CacheAllBlockPolicy,
+    CombinedPolicy,
+    InsertAtPositionPolicy,
+    NoPrefetchPolicy,
+    ShadowAdmissionPolicy,
+    make_policy,
+)
+
+
+class TestSimplePolicies:
+    def test_no_prefetch_rejects_everything(self):
+        policy = NoPrefetchPolicy()
+        assert policy.admit(5) is None
+
+    def test_cache_all_admits_at_top(self):
+        assert CacheAllBlockPolicy().admit(5) == 0.0
+
+    def test_insert_at_position(self):
+        policy = InsertAtPositionPolicy(position=0.7)
+        assert policy.admit(5) == pytest.approx(0.7)
+
+    def test_insert_position_validated(self):
+        with pytest.raises(ValueError):
+            InsertAtPositionPolicy(position=2.0)
+
+
+class TestShadowAdmissionPolicy:
+    def test_admits_only_shadow_residents(self):
+        policy = ShadowAdmissionPolicy(real_cache_size=4, multiplier=1.0)
+        assert policy.admit(1) is None
+        policy.record_access(1)
+        assert policy.admit(1) == 0.0
+
+    def test_reset_clears_shadow(self):
+        policy = ShadowAdmissionPolicy(real_cache_size=4)
+        policy.record_access(1)
+        policy.reset()
+        assert policy.admit(1) is None
+
+
+class TestCombinedPolicy:
+    def test_shadow_hit_goes_to_top_miss_to_position(self):
+        policy = CombinedPolicy(real_cache_size=4, position=0.5, multiplier=1.0)
+        assert policy.admit(1) == pytest.approx(0.5)
+        policy.record_access(1)
+        assert policy.admit(1) == 0.0
+
+
+class TestAccessThresholdPolicy:
+    def test_admits_above_threshold_only(self):
+        counts = np.array([0, 5, 50])
+        policy = AccessThresholdPolicy(counts, threshold=5)
+        assert policy.admit(0) is None
+        assert policy.admit(1) is None      # strictly greater than t
+        assert policy.admit(2) == 0.0
+
+    def test_out_of_range_vector_rejected(self):
+        policy = AccessThresholdPolicy(np.array([10]), threshold=1)
+        assert policy.admit(5) is None
+
+    def test_threshold_zero_admits_any_accessed_vector(self):
+        policy = AccessThresholdPolicy(np.array([0, 1]), threshold=0)
+        assert policy.admit(0) is None
+        assert policy.admit(1) == 0.0
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            AccessThresholdPolicy(np.array([1]), threshold=-1)
+
+    def test_2d_counts_rejected(self):
+        with pytest.raises(ValueError):
+            AccessThresholdPolicy(np.zeros((2, 2)), threshold=1)
+
+
+class TestPolicyFactory:
+    def test_known_policies(self):
+        assert isinstance(make_policy("no-prefetch"), NoPrefetchPolicy)
+        assert isinstance(make_policy("cache-all-block"), CacheAllBlockPolicy)
+        assert isinstance(
+            make_policy("insert-at-position", position=0.3), InsertAtPositionPolicy
+        )
+        assert isinstance(
+            make_policy("shadow-admission", real_cache_size=10), ShadowAdmissionPolicy
+        )
+        assert isinstance(
+            make_policy("access-threshold", access_counts=np.array([1]), threshold=1),
+            AccessThresholdPolicy,
+        )
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            make_policy("does-not-exist")

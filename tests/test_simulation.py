@@ -1,0 +1,114 @@
+"""Tests for the replay runners, experiment sweeps and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.caching.policies import (
+    AccessThresholdPolicy,
+    CacheAllBlockPolicy,
+    NoPrefetchPolicy,
+)
+from repro.nvm.block import BlockLayout
+from repro.simulation.experiment import ExperimentRecord, ExperimentSweep
+from repro.simulation.report import format_percent, format_series, format_table
+from repro.simulation.runner import (
+    simulate_table,
+    unlimited_cache_bandwidth_increase,
+)
+from repro.workloads.characterization import access_counts
+
+
+class TestSimulateTable:
+    def test_baseline_included_by_default(self, eval_trace, shp_layout):
+        result = simulate_table(eval_trace, shp_layout, CacheAllBlockPolicy(), cache_size=None)
+        assert result.baseline_stats is not None
+        assert result.stats.lookups == eval_trace.num_lookups
+
+    def test_no_baseline(self, eval_trace, shp_layout):
+        result = simulate_table(
+            eval_trace, shp_layout, NoPrefetchPolicy(), cache_size=100, include_baseline=False
+        )
+        assert result.baseline_stats is None
+        assert result.bandwidth_increase == 0.0
+
+    def test_shp_unlimited_cache_beats_identity(self, small_spec, eval_trace, shp_layout):
+        """Reproduces the core of Figure 9: SHP placement increases effective
+        bandwidth over the original layout under an unlimited cache."""
+        identity = BlockLayout.identity(small_spec.num_vectors, 32)
+        gain_shp = unlimited_cache_bandwidth_increase(eval_trace, shp_layout)
+        gain_identity = unlimited_cache_bandwidth_increase(eval_trace, identity)
+        assert gain_shp > gain_identity > 0
+
+    def test_threshold_policy_beats_cache_all_at_small_cache(
+        self, train_trace, eval_trace, shp_layout
+    ):
+        """Reproduces the core of Figures 10 and 12: with a limited cache,
+        admitting every prefetched vector is much worse than filtering by the
+        training-trace access count."""
+        counts = access_counts(train_trace)
+        working_set = eval_trace.unique_vectors().size
+        cache_size = max(32, working_set // 4)
+        cache_all = simulate_table(
+            eval_trace, shp_layout, CacheAllBlockPolicy(), cache_size=cache_size
+        )
+        filtered = simulate_table(
+            eval_trace,
+            shp_layout,
+            AccessThresholdPolicy(counts, threshold=float(np.percentile(counts[counts > 0], 90))),
+            cache_size=cache_size,
+        )
+        assert cache_all.bandwidth_increase < 0
+        assert filtered.bandwidth_increase > cache_all.bandwidth_increase
+
+
+class TestExperimentSweep:
+    def test_run_and_columns(self):
+        sweep = ExperimentSweep("demo", "toy sweep")
+        sweep.run("x", [1, 2, 3], lambda x: {"y": float(x * 2)})
+        assert sweep.parameter_column("x") == [1, 2, 3]
+        assert sweep.column("y") == [2.0, 4.0, 6.0]
+
+    def test_best(self):
+        sweep = ExperimentSweep("demo")
+        sweep.add({"x": 1}, {"y": 0.5})
+        sweep.add({"x": 2}, {"y": 0.9})
+        assert sweep.best("y").parameters["x"] == 2
+        assert sweep.best("y", maximize=False).parameters["x"] == 1
+
+    def test_to_table_contains_values(self):
+        sweep = ExperimentSweep("demo", "description")
+        sweep.add({"x": 1}, {"y": 0.1234})
+        text = sweep.to_table()
+        assert "demo" in text and "x" in text and "0.123" in text
+
+    def test_empty_sweep(self):
+        assert "no records" in ExperimentSweep("empty").to_table()
+        assert ExperimentSweep("empty").best("y") is None
+
+    def test_record_is_frozen_copy(self):
+        params = {"x": 1}
+        sweep = ExperimentSweep("demo")
+        record = sweep.add(params, {"y": 1.0})
+        params["x"] = 99
+        assert record.parameters["x"] == 1
+        assert isinstance(record, ExperimentRecord)
+
+
+class TestReportFormatting:
+    def test_format_percent(self):
+        assert format_percent(0.423) == "42.3%"
+        assert format_percent(1.5, decimals=0) == "150%"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned widths
+
+    def test_format_table_mismatched_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series(self):
+        text = format_series({1: 0.5, 2: 0.25})
+        assert "1=50.0%" in text and "2=25.0%" in text

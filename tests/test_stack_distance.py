@@ -1,0 +1,103 @@
+"""Tests for stack distances and hit-rate curves (paper Figure 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caching.stack_distance import (
+    COLD_MISS,
+    HitRateCurve,
+    compute_stack_distances,
+    hit_rate_curve,
+)
+from repro.workloads.trace import Trace
+
+
+def naive_lru_hits(stream, cache_size):
+    """Reference LRU simulation used as an oracle."""
+    stack = []
+    hits = 0
+    for key in stream:
+        if key in stack:
+            index = stack.index(key)
+            if index < cache_size:
+                hits += 1
+            stack.pop(index)
+        stack.insert(0, key)
+    return hits
+
+
+class TestStackDistances:
+    def test_known_sequence(self):
+        distances = compute_stack_distances([1, 2, 1, 3, 2])
+        # 1:cold, 2:cold, 1:distance 2, 3:cold, 2:distance 3
+        assert distances.tolist() == [COLD_MISS, COLD_MISS, 2, COLD_MISS, 3]
+
+    def test_repeated_access_distance_one(self):
+        distances = compute_stack_distances([7, 7, 7])
+        assert distances.tolist() == [COLD_MISS, 1, 1]
+
+    def test_empty_stream(self):
+        assert compute_stack_distances([]).size == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            compute_stack_distances(np.zeros((2, 2), dtype=int))
+
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=15), max_size=120),
+        cache_size=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_lru(self, stream, cache_size):
+        """Hits derived from stack distances must equal a real LRU simulation."""
+        distances = compute_stack_distances(stream)
+        finite = distances[distances != COLD_MISS]
+        hits_from_distances = int((finite <= cache_size).sum())
+        assert hits_from_distances == naive_lru_hits(stream, cache_size)
+
+
+class TestHitRateCurve:
+    def test_monotone_non_decreasing(self, eval_trace):
+        curve = hit_rate_curve(eval_trace, cache_sizes=[10, 50, 100, 500, 1000])
+        assert (np.diff(curve.hit_rates) >= 0).all()
+
+    def test_bounded_by_one_minus_compulsory(self, eval_trace):
+        curve = hit_rate_curve(eval_trace, cache_sizes=[eval_trace.num_vectors])
+        compulsory = eval_trace.unique_vectors().size / eval_trace.num_lookups
+        assert curve.hit_rates[-1] == pytest.approx(1 - compulsory, abs=1e-9)
+
+    def test_accepts_raw_stream(self):
+        curve = hit_rate_curve(np.array([1, 2, 1, 2, 1]), cache_sizes=[1, 2, 3])
+        assert curve.total_lookups == 5
+        assert curve.hit_rates[-1] == pytest.approx(3 / 5)
+
+    def test_empty_trace(self):
+        curve = hit_rate_curve(Trace([], num_vectors=4), cache_sizes=[1, 2])
+        assert (curve.hit_rates == 0).all()
+
+    def test_default_sizes_geometric(self, eval_trace):
+        curve = hit_rate_curve(eval_trace, num_points=10)
+        assert curve.cache_sizes.size <= 10
+        assert (np.diff(curve.cache_sizes) > 0).all()
+
+    def test_interpolation_and_hits(self):
+        curve = HitRateCurve(np.array([10, 20]), np.array([0.2, 0.4]), total_lookups=100)
+        assert curve.hit_rate_at(15) == pytest.approx(0.3)
+        assert curve.hit_rate_at(0) == 0.0
+        assert curve.hit_rate_at(100) == pytest.approx(0.4)  # clamps right
+        assert curve.hits_at(20) == pytest.approx(40)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HitRateCurve(np.array([2, 1]), np.array([0.1, 0.2]), 10)
+        with pytest.raises(ValueError):
+            HitRateCurve(np.array([1]), np.array([0.1, 0.2]), 10)
+
+    def test_skewed_trace_has_useful_small_cache(self, eval_trace):
+        # A cache holding 20% of the distinct vectors should already serve a
+        # sizeable fraction of lookups on a skewed workload.
+        unique = eval_trace.unique_vectors().size
+        curve = hit_rate_curve(eval_trace, cache_sizes=[max(1, unique // 5)])
+        assert curve.hit_rates[0] > 0.2

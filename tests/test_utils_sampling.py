@@ -1,0 +1,96 @@
+"""Unit and property tests for the sampling primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.sampling import (
+    sample_queries_spatially,
+    spatial_hash_sample_mask,
+    zipf_probabilities,
+)
+
+
+class TestSpatialHashSampleMask:
+    def test_rate_zero_and_one(self):
+        ids = np.arange(100)
+        assert not spatial_hash_sample_mask(ids, 0.0).any()
+        assert spatial_hash_sample_mask(ids, 1.0).all()
+
+    def test_deterministic_per_id(self):
+        ids = np.arange(1000)
+        mask_a = spatial_hash_sample_mask(ids, 0.3, seed=5)
+        mask_b = spatial_hash_sample_mask(ids, 0.3, seed=5)
+        np.testing.assert_array_equal(mask_a, mask_b)
+
+    def test_decision_independent_of_position(self):
+        # The same id must receive the same decision regardless of the array
+        # it appears in — the spatial-sampling property miniature caches need.
+        single = spatial_hash_sample_mask(np.array([42]), 0.5, seed=1)[0]
+        in_context = spatial_hash_sample_mask(np.arange(100), 0.5, seed=1)[42]
+        assert single == in_context
+
+    def test_seed_changes_sample(self):
+        ids = np.arange(5000)
+        mask_a = spatial_hash_sample_mask(ids, 0.5, seed=0)
+        mask_b = spatial_hash_sample_mask(ids, 0.5, seed=1)
+        assert (mask_a != mask_b).any()
+
+    def test_rate_approximately_respected(self):
+        ids = np.arange(20000)
+        mask = spatial_hash_sample_mask(ids, 0.2, seed=0)
+        assert 0.17 < mask.mean() < 0.23
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            spatial_hash_sample_mask(np.arange(10), 1.5)
+
+    @given(rate=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_mask_fraction_within_bounds(self, rate):
+        ids = np.arange(2000)
+        mask = spatial_hash_sample_mask(ids, rate, seed=3)
+        assert 0.0 <= mask.mean() <= 1.0
+
+
+class TestSampleQueriesSpatially:
+    def test_empty_queries_dropped(self):
+        queries = [np.array([1, 2, 3]), np.array([1000000])]
+        sampled = sample_queries_spatially(queries, 0.001, seed=0)
+        assert all(q.size > 0 for q in sampled)
+
+    def test_full_rate_keeps_everything(self):
+        queries = [np.array([1, 2, 3]), np.array([4, 5])]
+        sampled = sample_queries_spatially(queries, 1.0)
+        assert len(sampled) == 2
+        np.testing.assert_array_equal(sampled[0], queries[0])
+
+    def test_subset_of_original(self):
+        queries = [np.arange(100), np.arange(50, 150)]
+        sampled = sample_queries_spatially(queries, 0.3, seed=2)
+        for original, kept in zip(queries, sampled):
+            assert set(kept.tolist()) <= set(original.tolist())
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        probs = zipf_probabilities(1000, 0.8)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_alpha_zero_is_uniform(self):
+        probs = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(probs, 0.1)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(100, 1.2)
+        assert (np.diff(probs) <= 0).all()
+
+    def test_higher_alpha_more_concentrated(self):
+        light = zipf_probabilities(1000, 0.5)
+        heavy = zipf_probabilities(1000, 2.0)
+        assert heavy[0] > light[0]
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -0.5)

@@ -1,0 +1,71 @@
+"""Unit tests for the argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_1d_ints,
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3.5, "x") == 3.5
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_rejects_non_positive_and_non_finite(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        assert check_in_range(0, 0, 1, "x") == 0
+        assert check_in_range(1, 0, 1, "x") == 1
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(1.5, 0, 1, "x")
+
+
+class TestCheckFraction:
+    def test_accepts_half(self):
+        assert check_fraction(0.5, "x") == 0.5
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.01, "x")
+
+
+class TestCheckArray1dInts:
+    def test_accepts_list(self):
+        out = check_array_1d_ints([1, 2, 3], "ids")
+        assert out.dtype == np.int64
+        assert out.tolist() == [1, 2, 3]
+
+    def test_scalar_becomes_1d(self):
+        assert check_array_1d_ints(5, "ids").tolist() == [5]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_array_1d_ints([[1, 2], [3, 4]], "ids")
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            check_array_1d_ints([1.5, 2.5], "ids")
+
+    def test_empty_ok(self):
+        assert check_array_1d_ints([], "ids").size == 0
