@@ -14,12 +14,27 @@ paper examines:
   access-threshold policy Bandana adopts),
 * :mod:`repro.caching.replay` — the per-table cache replay engine used by all
   cache experiments,
+* :mod:`repro.caching.engine` — the vectorized *batch* replay engine: an
+  array-backed LRU plus batched kernels that reproduce the reference loop's
+  counters bit for bit at a multiple of its throughput,
 * :mod:`repro.caching.stack_distance` — Mattson stack distances and hit-rate
   curves (Figure 3),
 * :mod:`repro.caching.miniature` — miniature-cache simulation for picking the
   admission threshold per table and cache size (Table 2, Figure 14),
 * :mod:`repro.caching.allocation` — splitting a DRAM budget across tables
   from their hit-rate curves.
+
+Reference vs. fast path
+-----------------------
+The package deliberately keeps two implementations of the replay semantics.
+:func:`replay_table_cache` (and the dict+heap :class:`LRUCache` under it) is
+the *reference model*: a readable, per-vector transcription of the paper used
+to define what every counter means.  :func:`replay_table_cache_batched` (and
+:class:`~repro.caching.engine.ArrayLRUCache`) is the *fast path* used by
+serving, tuning and simulation.  The contract — enforced by the equivalence
+test suite — is that both produce bit-identical
+:class:`~repro.caching.replay.ReplayStats` for any trace, policy and cache
+size, so performance work can never silently change the modeled numbers.
 """
 
 from repro.caching.lru import LRUCache
@@ -35,9 +50,16 @@ from repro.caching.policies import (
     make_policy,
 )
 from repro.caching.replay import ReplayStats, replay_table_cache
+from repro.caching.engine import (
+    ArrayLRUCache,
+    BatchReplayEngine,
+    replay_table_cache_batched,
+    replay_table_cache_multi,
+)
 from repro.caching.stack_distance import (
     HitRateCurve,
     compute_stack_distances,
+    compute_stack_distances_chunked,
     hit_rate_curve,
 )
 from repro.caching.miniature import MiniatureCacheTuner, ThresholdSelection
@@ -56,8 +78,13 @@ __all__ = [
     "make_policy",
     "ReplayStats",
     "replay_table_cache",
+    "ArrayLRUCache",
+    "BatchReplayEngine",
+    "replay_table_cache_batched",
+    "replay_table_cache_multi",
     "HitRateCurve",
     "compute_stack_distances",
+    "compute_stack_distances_chunked",
     "hit_rate_curve",
     "MiniatureCacheTuner",
     "ThresholdSelection",

@@ -8,7 +8,10 @@ do that cheaply, so this implementation keys every resident entry with a
 while an insertion at position ``p`` (0 = MRU top, 1 = LRU bottom) receives a
 priority interpolated between the current top and bottom of the queue.
 Eviction removes the minimum-priority entry using a lazy-deletion heap, so all
-operations are ``O(log n)`` amortised.
+operations are ``O(log n)`` amortised.  Stale heap entries (left behind by
+re-stamping) are compacted away once they outnumber the live entries, so the
+heap's memory stays proportional to the number of resident keys even over
+arbitrarily long replays.
 """
 
 from __future__ import annotations
@@ -133,9 +136,17 @@ class LRUCache:
         # current LRU entry (ties would otherwise be broken by key order).
         return top - position * (top - bottom) - position * 1e-9
 
+    #: Compact the lazy heap only once it exceeds this many entries.
+    _COMPACT_MIN = 64
+
     def _stamp(self, key: int, priority: float) -> None:
         self._priority[key] = priority
         heapq.heappush(self._heap, (priority, key))
+        # Heavy re-stamping (every hit promotes) leaves stale entries behind;
+        # without compaction the heap grows without bound on long replays.
+        if len(self._heap) > self._COMPACT_MIN and len(self._heap) > 2 * len(self._priority):
+            self._heap = [(p, k) for k, p in self._priority.items()]
+            heapq.heapify(self._heap)
 
     def _evict_one(self) -> Optional[int]:
         while self._heap:

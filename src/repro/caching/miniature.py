@@ -16,12 +16,19 @@ Because the miniature caches store only ids and see only ``1/N`` of the
 traffic, the whole search costs a small fraction of serving the real traffic.
 :class:`MiniatureCacheTuner` implements the search;
 :meth:`MiniatureCacheTuner.select_threshold` reproduces the paper's Table 2.
+
+By default the search runs in *single-pass multi-threshold* mode on the
+vectorized batch engine (:mod:`repro.caching.engine`): the sampled stream is
+walked once, feeding the no-prefetch baseline and every candidate threshold's
+miniature cache simultaneously, instead of one full replay per threshold.
+The counters are bit-identical to per-threshold reference replays
+(``use_batched_engine=False`` restores the reference loop).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -78,6 +85,10 @@ class MiniatureCacheTuner:
         Candidate thresholds to evaluate; defaults to the paper's sweep.
     vector_bytes:
         Bytes per vector, used only for bandwidth bookkeeping.
+    use_batched_engine:
+        Evaluate all thresholds in one pass over the sampled stream with the
+        vectorized batch engine (default).  ``False`` replays the reference
+        loop once per threshold; the resulting statistics are identical.
     """
 
     def __init__(
@@ -86,6 +97,7 @@ class MiniatureCacheTuner:
         seed: int = 0,
         thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
         vector_bytes: int = 128,
+        use_batched_engine: bool = True,
     ):
         check_fraction(sampling_rate, "sampling_rate")
         if sampling_rate <= 0:
@@ -97,6 +109,7 @@ class MiniatureCacheTuner:
         self.seed = int(seed)
         self.thresholds = tuple(float(t) for t in thresholds)
         self.vector_bytes = int(vector_bytes)
+        self.use_batched_engine = bool(use_batched_engine)
 
     def select_threshold(
         self,
@@ -123,37 +136,88 @@ class MiniatureCacheTuner:
         """
         check_positive(cache_size, "cache_size")
         access_counts = np.asarray(access_counts, dtype=np.int64)
-
-        if self.sampling_rate >= 1.0:
-            sampled_queries = list(trace.queries)
-            mini_cache_size = int(cache_size)
-        else:
-            sampled_queries = sample_queries_spatially(
-                trace.queries, self.sampling_rate, seed=self.seed
-            )
-            mini_cache_size = max(1, int(round(cache_size * self.sampling_rate)))
-
-        baseline = replay_table_cache(
-            sampled_queries,
-            layout,
-            NoPrefetchPolicy(),
-            cache_size=mini_cache_size,
-            vector_bytes=self.vector_bytes,
+        sampled_queries = self._sample(trace)
+        return self._select_from_sampled(
+            sampled_queries, layout, access_counts, int(cache_size)
         )
+
+    def select_thresholds_for_sizes(
+        self,
+        trace: Trace,
+        layout: BlockLayout,
+        access_counts: np.ndarray,
+        cache_sizes: Sequence[int],
+    ) -> Dict[int, ThresholdSelection]:
+        """Run the threshold search for several cache sizes (Table 2 rows).
+
+        The spatial sampling of the trace does not depend on the cache size,
+        so the stream is sampled once and reused across all sizes.
+        """
+        for size in cache_sizes:
+            check_positive(int(size), "cache_size")
+        access_counts = np.asarray(access_counts, dtype=np.int64)
+        sampled_queries = self._sample(trace)
+        return {
+            int(size): self._select_from_sampled(
+                sampled_queries, layout, access_counts, int(size)
+            )
+            for size in cache_sizes
+        }
+
+    # ----------------------------------------------------------------- private
+    def _sample(self, trace: Trace) -> List[np.ndarray]:
+        """Spatially sample the tuning stream (shared across cache sizes)."""
+        if self.sampling_rate >= 1.0:
+            return list(trace.queries)
+        return sample_queries_spatially(
+            trace.queries, self.sampling_rate, seed=self.seed
+        )
+
+    def _mini_cache_size(self, cache_size: int) -> int:
+        if self.sampling_rate >= 1.0:
+            return int(cache_size)
+        return max(1, int(round(cache_size * self.sampling_rate)))
+
+    def _select_from_sampled(
+        self,
+        sampled_queries: List[np.ndarray],
+        layout: BlockLayout,
+        access_counts: np.ndarray,
+        cache_size: int,
+    ) -> ThresholdSelection:
+        mini_cache_size = self._mini_cache_size(cache_size)
+        policies = [NoPrefetchPolicy()] + [
+            AccessThresholdPolicy(access_counts, threshold)
+            for threshold in self.thresholds
+        ]
+        if self.use_batched_engine:
+            from repro.caching.engine import replay_table_cache_multi
+
+            all_stats = replay_table_cache_multi(
+                sampled_queries,
+                layout,
+                policies,
+                cache_sizes=[mini_cache_size] * len(policies),
+                vector_bytes=self.vector_bytes,
+            )
+        else:
+            all_stats = [
+                replay_table_cache(
+                    sampled_queries,
+                    layout,
+                    policy,
+                    cache_size=mini_cache_size,
+                    vector_bytes=self.vector_bytes,
+                )
+                for policy in policies
+            ]
+        baseline = all_stats[0]
 
         gains: Dict[float, float] = {}
         per_threshold: Dict[float, ReplayStats] = {}
         best_threshold = self.thresholds[0]
         best_gain = -np.inf
-        for threshold in self.thresholds:
-            policy = AccessThresholdPolicy(access_counts, threshold)
-            stats = replay_table_cache(
-                sampled_queries,
-                layout,
-                policy,
-                cache_size=mini_cache_size,
-                vector_bytes=self.vector_bytes,
-            )
+        for threshold, stats in zip(self.thresholds, all_stats[1:]):
             gain = effective_bandwidth_increase(baseline, stats)
             gains[threshold] = gain
             per_threshold[threshold] = stats
@@ -169,16 +233,3 @@ class MiniatureCacheTuner:
             baseline_stats=baseline,
             per_threshold_stats=per_threshold,
         )
-
-    def select_thresholds_for_sizes(
-        self,
-        trace: Trace,
-        layout: BlockLayout,
-        access_counts: np.ndarray,
-        cache_sizes: Sequence[int],
-    ) -> Dict[int, ThresholdSelection]:
-        """Run :meth:`select_threshold` for several cache sizes (Table 2 rows)."""
-        return {
-            int(size): self.select_threshold(trace, layout, access_counts, int(size))
-            for size in cache_sizes
-        }

@@ -21,6 +21,17 @@ A policy exposes two hooks: :meth:`PrefetchPolicy.record_access` is called for
 every application-requested id (hit or miss) so stateful policies can track
 demand traffic, and :meth:`PrefetchPolicy.admit` is called for each prefetch
 candidate and returns the insertion position or ``None`` to reject it.
+
+Both hooks also exist in batched form for the vectorized replay engine
+(:mod:`repro.caching.engine`): :meth:`PrefetchPolicy.record_access_batch`
+observes a whole id array in stream order, and :meth:`PrefetchPolicy.admit_batch`
+maps an id array to a ``float64`` position array where ``NaN`` marks a
+rejected candidate.  Every built-in policy implements the batched hooks with
+NumPy; the scalar hooks remain the reference semantics, and the base class
+provides loop fallbacks so third-party scalar-only policies keep working with
+the batched engine.  ``admit`` must be a pure function of the candidate id and
+the policy's current state — the batched engine may evaluate it for candidates
+the reference loop would have skipped.
 """
 
 from __future__ import annotations
@@ -40,6 +51,19 @@ class PrefetchPolicy(abc.ABC):
     #: Name used in reports, benchmark output and the policy factory.
     name: str = "policy"
 
+    #: True when :meth:`admit` rejects every candidate unconditionally; lets
+    #: the batched engine skip the admission sweep on every miss.
+    never_admits: bool = False
+
+    #: True when :meth:`admit` is a constant function of the id for the whole
+    #: replay (no evolving state), letting the batched engine cache admission
+    #: decisions per block.
+    admit_is_static: bool = False
+
+    #: True when every admitted candidate enters at position 0.0 (the top of
+    #: the queue), the case the batched engine can always process in bulk.
+    always_top_positions: bool = False
+
     def record_access(self, vector_id: int) -> None:
         """Observe an application (demand) access.  Stateless policies ignore it."""
 
@@ -50,6 +74,30 @@ class PrefetchPolicy(abc.ABC):
         Position ``0.0`` is the top (MRU end) of the eviction queue, ``1.0``
         the bottom.  ``None`` rejects the prefetch entirely.
         """
+
+    def record_access_batch(self, vector_ids: np.ndarray) -> None:
+        """Observe a batch of demand accesses, in stream order.
+
+        The default recognises policies that never overrode the scalar hook
+        (nothing to record) and otherwise falls back to a sequential loop so
+        stateful scalar-only policies stay exactly equivalent.
+        """
+        if type(self).record_access is PrefetchPolicy.record_access:
+            return
+        for vector_id in np.asarray(vector_ids).tolist():
+            self.record_access(vector_id)
+
+    def admit_batch(self, vector_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`admit`: a position per id, ``NaN`` = reject.
+
+        The default loops over the scalar hook; built-in policies override it
+        with pure NumPy implementations.
+        """
+        positions = np.empty(len(vector_ids), dtype=np.float64)
+        for index, vector_id in enumerate(np.asarray(vector_ids).tolist()):
+            position = self.admit(vector_id)
+            positions[index] = np.nan if position is None else position
+        return positions
 
     def reset(self) -> None:
         """Clear any internal state (e.g. between replay runs)."""
@@ -62,31 +110,46 @@ class NoPrefetchPolicy(PrefetchPolicy):
     """The baseline policy: only the explicitly requested vector is cached."""
 
     name = "no-prefetch"
+    never_admits = True
+    admit_is_static = True
 
     def admit(self, vector_id: int) -> Optional[float]:
         return None
+
+    def admit_batch(self, vector_ids: np.ndarray) -> np.ndarray:
+        return np.full(len(vector_ids), np.nan)
 
 
 class CacheAllBlockPolicy(PrefetchPolicy):
     """Admit every vector of the fetched block at the top of the queue (Fig. 10)."""
 
     name = "cache-all-block"
+    admit_is_static = True
+    always_top_positions = True
 
     def admit(self, vector_id: int) -> Optional[float]:
         return 0.0
+
+    def admit_batch(self, vector_ids: np.ndarray) -> np.ndarray:
+        return np.zeros(len(vector_ids))
 
 
 class InsertAtPositionPolicy(PrefetchPolicy):
     """Admit every prefetched vector at a fixed lower queue position (Fig. 11a)."""
 
     name = "insert-at-position"
+    admit_is_static = True
 
     def __init__(self, position: float = 0.5):
         check_fraction(position, "position")
         self.position = float(position)
+        self.always_top_positions = self.position == 0.0
 
     def admit(self, vector_id: int) -> Optional[float]:
         return self.position
+
+    def admit_batch(self, vector_ids: np.ndarray) -> np.ndarray:
+        return np.full(len(vector_ids), self.position)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"InsertAtPositionPolicy(position={self.position})"
@@ -100,6 +163,7 @@ class ShadowAdmissionPolicy(PrefetchPolicy):
     """
 
     name = "shadow-admission"
+    always_top_positions = True
 
     def __init__(self, real_cache_size: int, multiplier: float = 1.0):
         self.real_cache_size = int(real_cache_size)
@@ -109,8 +173,14 @@ class ShadowAdmissionPolicy(PrefetchPolicy):
     def record_access(self, vector_id: int) -> None:
         self.shadow.record_access(vector_id)
 
+    def record_access_batch(self, vector_ids: np.ndarray) -> None:
+        self.shadow.record_access_batch(vector_ids)
+
     def admit(self, vector_id: int) -> Optional[float]:
         return 0.0 if self.shadow.contains(vector_id) else None
+
+    def admit_batch(self, vector_ids: np.ndarray) -> np.ndarray:
+        return np.where(self.shadow.contains_batch(vector_ids), 0.0, np.nan)
 
     def reset(self) -> None:
         self.shadow.clear()
@@ -135,6 +205,7 @@ class CombinedPolicy(PrefetchPolicy):
     ):
         check_fraction(position, "position")
         self.position = float(position)
+        self.always_top_positions = self.position == 0.0
         self.multiplier = float(multiplier)
         self.real_cache_size = int(real_cache_size)
         self.shadow = ShadowCache(real_cache_size, multiplier)
@@ -142,10 +213,16 @@ class CombinedPolicy(PrefetchPolicy):
     def record_access(self, vector_id: int) -> None:
         self.shadow.record_access(vector_id)
 
+    def record_access_batch(self, vector_ids: np.ndarray) -> None:
+        self.shadow.record_access_batch(vector_ids)
+
     def admit(self, vector_id: int) -> Optional[float]:
         if self.shadow.contains(vector_id):
             return 0.0
         return self.position
+
+    def admit_batch(self, vector_ids: np.ndarray) -> np.ndarray:
+        return np.where(self.shadow.contains_batch(vector_ids), 0.0, self.position)
 
     def reset(self) -> None:
         self.shadow.clear()
@@ -167,6 +244,8 @@ class AccessThresholdPolicy(PrefetchPolicy):
     """
 
     name = "access-threshold"
+    admit_is_static = True
+    always_top_positions = True
 
     def __init__(self, access_counts: np.ndarray, threshold: float):
         check_non_negative(threshold, "threshold")
@@ -179,6 +258,12 @@ class AccessThresholdPolicy(PrefetchPolicy):
         if vector_id >= self.access_counts.size:
             return None
         return 0.0 if self.access_counts[vector_id] > self.threshold else None
+
+    def admit_batch(self, vector_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(vector_ids, dtype=np.int64)
+        known = ids < self.access_counts.size
+        counts = self.access_counts[np.where(known, ids, 0)]
+        return np.where(known & (counts > self.threshold), 0.0, np.nan)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"AccessThresholdPolicy(threshold={self.threshold})"

@@ -8,6 +8,13 @@ table's DRAM cache, reading a 4 KB block from NVM on every demand miss and
 letting a prefetch policy decide what else from that block enters the cache.
 :func:`replay_table_cache` is that loop; everything else in the library is a
 wrapper around it.
+
+This module is the *reference model*: a deliberately plain per-vector loop
+that transcribes the paper's behaviour one statement at a time.  Serving,
+tuning and simulation run on the vectorized fast path in
+:mod:`repro.caching.engine`, which is required (and tested) to reproduce this
+loop's :class:`ReplayStats` counters bit for bit — keep the two in sync when
+changing replay semantics.
 """
 
 from __future__ import annotations

@@ -9,6 +9,8 @@ sized as a multiplier (1×–2×) of the real cache.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.caching.lru import LRUCache
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -51,9 +53,31 @@ class ShadowCache:
         if not self._cache.get(key):
             self._cache.insert(key, position=0.0)
 
+    def record_access_batch(self, keys: np.ndarray) -> None:
+        """Record a batch of demand accesses, in stream order.
+
+        Exactly equivalent to calling :meth:`record_access` per key; kept as a
+        loop because the shadow cache is dict-backed (batch callers such as the
+        vectorized replay engine stay correct either way).
+        """
+        get = self._cache.get
+        insert = self._cache.insert
+        for key in np.asarray(keys).tolist():
+            if not get(key):
+                insert(key, position=0.0)
+
     def contains(self, key: int) -> bool:
         """Whether ``key`` is in the shadow cache (without changing recency)."""
         return self._cache.peek(key)
+
+    def contains_batch(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean membership array for ``keys`` (no recency change)."""
+        peek = self._cache.peek
+        return np.fromiter(
+            (peek(key) for key in np.asarray(keys).tolist()),
+            dtype=bool,
+            count=len(keys),
+        )
 
     def clear(self) -> None:
         """Drop all tracked ids."""

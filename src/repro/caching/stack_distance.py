@@ -9,6 +9,16 @@ iff its stack distance is ``≤ c``.
 
 The implementation uses the classic Fenwick-tree (binary indexed tree)
 algorithm: O(N log N) over a stream of N lookups.
+
+Two implementations are provided under the same reference-vs-fast-path
+contract as the cache replay engine (:mod:`repro.caching.engine`):
+:func:`compute_stack_distances` is the readable per-access reference — two
+Python-level tree walks per access — while
+:func:`compute_stack_distances_chunked` processes the stream in fixed-size
+chunks, batching the Fenwick prefix-sum and update walks into ``O(log N)``
+vectorized array operations per chunk and correcting for intra-chunk updates
+with a closed-form dominance count.  Both return bit-identical distances;
+:func:`hit_rate_curve` uses the chunked kernel.
 """
 
 from __future__ import annotations
@@ -75,6 +85,115 @@ def compute_stack_distances(id_stream: Union[np.ndarray, Sequence[int]]) -> np.n
             tree.add(previous, -1)
         tree.add(position, +1)
         last_position[vector_id] = position
+    return distances
+
+
+def _previous_occurrences(stream: np.ndarray) -> np.ndarray:
+    """Index of the previous access to the same id, or ``-1`` (vectorized)."""
+    n = stream.size
+    prev = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return prev
+    order = np.argsort(stream, kind="stable")
+    sorted_ids = stream[order]
+    same = sorted_ids[1:] == sorted_ids[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _prefix_sum_batch(tree: np.ndarray, indices: np.ndarray) -> np.ndarray:
+    """Fenwick prefix sums for a batch of 0-based indices (-1 yields 0)."""
+    idx = indices + 1
+    totals = np.zeros(idx.shape, dtype=np.int64)
+    while True:
+        active = idx > 0
+        if not active.any():
+            return totals
+        current = idx[active]
+        totals[active] += tree[current]
+        idx[active] = current - (current & -current)
+
+
+def _add_batch(tree: np.ndarray, indices: np.ndarray, deltas: np.ndarray) -> None:
+    """Fenwick point updates for a batch of 0-based indices."""
+    size = tree.size - 1
+    idx = indices + 1
+    deltas = deltas.copy()
+    while True:
+        active = idx <= size
+        if not active.any():
+            return
+        current = idx[active]
+        np.add.at(tree, current, deltas[active])
+        idx = current + (current & -current)
+        deltas = deltas[active]
+
+
+def compute_stack_distances_chunked(
+    id_stream: Union[np.ndarray, Sequence[int]], chunk_size: int = 512
+) -> np.ndarray:
+    """Chunked, array-native equivalent of :func:`compute_stack_distances`.
+
+    The stream is processed ``chunk_size`` accesses at a time.  Within a
+    chunk, all prefix sums are taken against the Fenwick tree *frozen* at the
+    chunk start — a batch of tree walks vectorized across the chunk — and the
+    contribution of the chunk's own earlier accesses is reconstructed in
+    closed form: each earlier access adds one marker below the query point and
+    removes one at its previous occurrence, so the correction reduces to
+    counting earlier in-chunk accesses and a pairwise dominance count over
+    their previous-occurrence indices.  All arithmetic is integral, so the
+    result is bit-identical to the reference implementation.
+    """
+    stream = np.asarray(id_stream, dtype=np.int64)
+    if stream.ndim != 1:
+        raise ValueError("id_stream must be one-dimensional")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    n = stream.size
+    distances = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return distances
+
+    prev = _previous_occurrences(stream)
+    tree = np.zeros(n + 1, dtype=np.int64)
+    tri = np.tril(np.ones((min(chunk_size, n),) * 2, dtype=bool), -1)
+    ones = np.ones(min(chunk_size, n), dtype=np.int64)
+
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        k = stop - start
+        pos = np.arange(start, stop, dtype=np.int64)
+        prev_c = prev[start:stop]
+        noncold = prev_c >= 0
+
+        # Prefix sums against the frozen tree.
+        ps_hi = _prefix_sum_batch(tree, pos - 1)
+        ps_lo = _prefix_sum_batch(tree, prev_c[noncold])
+
+        # Corrections for the chunk's own earlier accesses: access a < p adds
+        # +1 at a (always <= p-1) and -1 at prev_a (also < p), so the true
+        # prefix sums differ from the frozen ones by simple counts.
+        offsets = pos - start                       # accesses before p in chunk
+        n_prev = np.cumsum(noncold) - noncold       # non-cold ones among them
+        true_hi = ps_hi + offsets - n_prev
+
+        # For the lower bound: +1 markers at a <= prev_p, and -1 markers at
+        # prev_a <= prev_p (the pairwise dominance count D).
+        plus_lo = np.maximum(0, prev_c[noncold] - start + 1)
+        dominated = (prev_c[None, :] <= prev_c[:, None]) & noncold[None, :] & tri[:k, :k]
+        d_count = dominated.sum(axis=1)[noncold]
+        true_lo = ps_lo + plus_lo - d_count
+
+        out = distances[start:stop]
+        out[~noncold] = COLD_MISS
+        out[noncold] = true_hi[noncold] - true_lo + 1
+
+        # Apply the whole chunk's tree updates in bulk.
+        _add_batch(
+            tree,
+            np.concatenate([pos, prev_c[noncold]]),
+            np.concatenate([ones[:k], -ones[: int(noncold.sum())]]),
+        )
     return distances
 
 
@@ -148,7 +267,7 @@ def hit_rate_curve(
         sizes = np.asarray(cache_sizes if cache_sizes is not None else [0], dtype=np.int64)
         return HitRateCurve(sizes, np.zeros(sizes.size), total_lookups=0)
 
-    distances = compute_stack_distances(stream)
+    distances = compute_stack_distances_chunked(stream)
     finite = distances[distances != COLD_MISS]
 
     if cache_sizes is None:

@@ -22,11 +22,12 @@ actual embedding values when built with an :class:`~repro.embeddings.EmbeddingMo
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.caching.allocation import allocate_dram_budget
+from repro.caching.engine import BatchReplayEngine, replay_table_cache_batched
 from repro.caching.lru import LRUCache
 from repro.caching.miniature import MiniatureCacheTuner
 from repro.caching.policies import (
@@ -65,6 +66,8 @@ class BandanaTableState:
     stats: ReplayStats = field(default_factory=ReplayStats)
     hit_rate_curve: Optional[HitRateCurve] = None
     partition_runtime_seconds: float = 0.0
+    #: Lazily-created batched serving engine (shares ``stats`` and ``device``).
+    engine: Optional[BatchReplayEngine] = None
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -206,18 +209,61 @@ class BandanaStore:
         state = self._state(table_name)
         ids = np.asarray(vector_ids, dtype=np.int64)
         if ids.size:
-            replay_table_cache(
-                [ids],
-                state.layout,
-                state.policy,
-                cache=state.cache,
-                vector_bytes=self.config.vector_bytes,
-                device=state.device,
-                queue_depth=self.config.queue_depth,
-                stats=state.stats,
-            )
+            if self.config.use_batched_engine:
+                self._engine(state).replay_query(ids)
+            else:
+                replay_table_cache(
+                    [ids],
+                    state.layout,
+                    state.policy,
+                    cache=state.cache,
+                    vector_bytes=self.config.vector_bytes,
+                    device=state.device,
+                    queue_depth=self.config.queue_depth,
+                    stats=state.stats,
+                )
         if self.embedding_model is not None and table_name in self.embedding_model:
             return self.embedding_model[table_name].gather(ids)
+        return None
+
+    def lookup_batch(
+        self, table_name: str, queries: Sequence[Iterable[int]]
+    ) -> Optional[List[np.ndarray]]:
+        """Serve a batch of queries against one table in one engine pass.
+
+        Equivalent (counter for counter) to calling :meth:`lookup` per query,
+        but the cache machinery runs through the vectorized batch engine so
+        hit runs spanning query boundaries are processed in bulk.  Returns
+        one embedding array per query when the store holds an embedding
+        model, or ``None`` in counting-only mode.
+        """
+        state = self._state(table_name)
+        id_arrays = [np.asarray(ids, dtype=np.int64) for ids in queries]
+        if self.config.use_batched_engine:
+            engine = self._engine(state)
+            non_empty = [ids for ids in id_arrays if ids.size]
+            if non_empty:
+                engine.replay_query(
+                    np.concatenate(non_empty) if len(non_empty) > 1 else non_empty[0]
+                )
+        else:
+            # One reference-loop call per query, exactly like lookup(), so the
+            # two APIs stay counter-for-counter equivalent on this path too.
+            for ids in id_arrays:
+                if ids.size:
+                    replay_table_cache(
+                        [ids],
+                        state.layout,
+                        state.policy,
+                        cache=state.cache,
+                        vector_bytes=self.config.vector_bytes,
+                        device=state.device,
+                        queue_depth=self.config.queue_depth,
+                        stats=state.stats,
+                    )
+        if self.embedding_model is not None and table_name in self.embedding_model:
+            table = self.embedding_model[table_name]
+            return [table.gather(ids) for ids in id_arrays]
         return None
 
     def lookup_request(
@@ -282,6 +328,7 @@ class BandanaStore:
                 vector_bytes=self.config.vector_bytes,
                 block_bytes=self.config.vectors_per_block * self.config.vector_bytes,
             )
+            state.engine = None  # rebuilt lazily against the fresh stats
 
     # ------------------------------------------------------------- baselines
     def baseline_block_reads(self, eval_trace: ModelTrace) -> int:
@@ -292,9 +339,14 @@ class BandanaStore:
         *increase* of the store.
         """
         total = 0
+        replay = (
+            replay_table_cache_batched
+            if self.config.use_batched_engine
+            else replay_table_cache
+        )
         for name, trace in eval_trace.items():
             state = self._state(name)
-            stats = replay_table_cache(
+            stats = replay(
                 trace.queries,
                 state.layout,
                 NoPrefetchPolicy(),
@@ -305,6 +357,26 @@ class BandanaStore:
         return total
 
     # ----------------------------------------------------------------- private
+    def _engine(self, state: BandanaTableState) -> BatchReplayEngine:
+        """The table's batched serving engine, created on first use.
+
+        The engine shares the table's ``stats`` object and device, so all
+        counters accumulate exactly as on the reference path.  Serving must
+        stay on one path per reset: the engine's array cache and the legacy
+        ``state.cache`` are separate residency states.
+        """
+        if state.engine is None:
+            state.engine = BatchReplayEngine(
+                state.layout,
+                state.policy,
+                cache_size=state.cache_config.cache_size_vectors,
+                vector_bytes=self.config.vector_bytes,
+                device=state.device,
+                queue_depth=self.config.queue_depth,
+                stats=state.stats,
+            )
+        return state.engine
+
     def _state(self, table_name: str) -> BandanaTableState:
         try:
             return self.tables[table_name]

@@ -85,6 +85,10 @@ class BandanaConfig:
         Queue depth assumed for NVM latency accounting.
     seed:
         Base random seed for all stochastic components.
+    use_batched_engine:
+        Serve lookups through the vectorized batch replay engine
+        (:mod:`repro.caching.engine`).  The engine is bit-identical to the
+        reference loop; ``False`` keeps serving on the reference path.
     """
 
     vector_bytes: int = 128
@@ -100,6 +104,7 @@ class BandanaConfig:
     candidate_thresholds: Sequence[float] = (0, 25, 50, 100, 200, 400)
     queue_depth: float = 8.0
     seed: int = 0
+    use_batched_engine: bool = True
 
     def __post_init__(self) -> None:
         check_positive(self.vector_bytes, "vector_bytes")

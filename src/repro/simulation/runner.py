@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.caching.engine import replay_table_cache_batched
 from repro.caching.policies import CacheAllBlockPolicy, NoPrefetchPolicy, PrefetchPolicy
 from repro.caching.replay import (
     ReplayStats,
@@ -56,6 +57,7 @@ def simulate_table(
     vector_bytes: int = 128,
     include_baseline: bool = True,
     baseline_policy: Optional[PrefetchPolicy] = None,
+    use_batched_engine: bool = True,
 ) -> TableSimulationResult:
     """Replay one table's trace under ``policy`` and (optionally) the baseline.
 
@@ -76,9 +78,13 @@ def simulate_table(
         Whether to also replay the baseline policy for comparison.
     baseline_policy:
         The baseline policy; defaults to no-prefetch (the paper's baseline).
+    use_batched_engine:
+        Replay on the vectorized batch engine (default); the counters are
+        bit-identical to the reference loop (``False``).
     """
+    replay = replay_table_cache_batched if use_batched_engine else replay_table_cache
     policy.reset()
-    stats = replay_table_cache(
+    stats = replay(
         trace.queries,
         layout,
         policy,
@@ -89,7 +95,7 @@ def simulate_table(
     if include_baseline:
         baseline = baseline_policy or NoPrefetchPolicy()
         baseline.reset()
-        baseline_stats = replay_table_cache(
+        baseline_stats = replay(
             trace.queries,
             layout,
             baseline,
@@ -168,20 +174,26 @@ def simulate_store(
     """Replay a full model trace through a built Bandana store.
 
     Each table's queries are replayed through the store's per-table state (in
-    trace order); the per-table baseline is replayed with the same cache size
-    but no prefetching.  ``reset_first`` clears the store's serving state so
-    repeated simulations start cold, like the paper's runs.
+    trace order) using the store's serving path — the batched engine by
+    default, via :meth:`~repro.core.bandana.BandanaStore.lookup_batch` — and
+    the per-table baseline is replayed with the same cache size but no
+    prefetching.  ``reset_first`` clears the store's serving state so repeated
+    simulations start cold, like the paper's runs.
     """
     if reset_first:
         store.reset_serving_state()
+    baseline_replay = (
+        replay_table_cache_batched
+        if store.config.use_batched_engine
+        else replay_table_cache
+    )
     results: Dict[str, TableSimulationResult] = {}
     for name, trace in eval_trace.items():
         state = store.tables[name]
-        for query in trace.queries:
-            store.lookup(name, query)
+        store.lookup_batch(name, trace.queries)
         baseline_stats = None
         if include_baseline:
-            baseline_stats = replay_table_cache(
+            baseline_stats = baseline_replay(
                 trace.queries,
                 state.layout,
                 NoPrefetchPolicy(),

@@ -9,6 +9,7 @@ from repro.caching.stack_distance import (
     COLD_MISS,
     HitRateCurve,
     compute_stack_distances,
+    compute_stack_distances_chunked,
     hit_rate_curve,
 )
 from repro.workloads.trace import Trace
@@ -56,6 +57,39 @@ class TestStackDistances:
         finite = distances[distances != COLD_MISS]
         hits_from_distances = int((finite <= cache_size).sum())
         assert hits_from_distances == naive_lru_hits(stream, cache_size)
+
+
+class TestChunkedStackDistances:
+    """The chunked array-native kernel must match the reference bit for bit."""
+
+    @given(
+        stream=st.lists(st.integers(min_value=0, max_value=25), max_size=200),
+        chunk_size=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_to_reference(self, stream, chunk_size):
+        reference = compute_stack_distances(stream)
+        chunked = compute_stack_distances_chunked(stream, chunk_size=chunk_size)
+        assert np.array_equal(reference, chunked)
+
+    def test_randomized_skewed_streams(self):
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            stream = (rng.integers(0, 500, size=2000) ** 2 % 500).astype(np.int64)
+            assert np.array_equal(
+                compute_stack_distances(stream),
+                compute_stack_distances_chunked(stream),
+            )
+
+    def test_empty_and_single(self):
+        assert compute_stack_distances_chunked([]).size == 0
+        assert compute_stack_distances_chunked([4]).tolist() == [COLD_MISS]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            compute_stack_distances_chunked(np.zeros((2, 2), dtype=int))
+        with pytest.raises(ValueError):
+            compute_stack_distances_chunked([1, 2], chunk_size=0)
 
 
 class TestHitRateCurve:
