@@ -55,15 +55,7 @@ JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_replay_throughp
 
 
 def _counters(stats):
-    return (
-        stats.lookups,
-        stats.hits,
-        stats.misses,
-        stats.prefetch_admitted,
-        stats.prefetch_hits,
-        stats.prefetch_evicted_unused,
-        stats.evictions,
-    )
+    return stats.counters()
 
 
 def _time_config(queries, layout, make_policy, cache_size, vector_bytes=128):

@@ -87,6 +87,28 @@ class ReplayStats:
             return 0.0
         return self.app_bytes / self.nvm_bytes
 
+    def counters(self, include_latency: bool = False) -> tuple:
+        """The counter fields as one comparable tuple.
+
+        This is the tuple every equivalence check in the repository (tests
+        and benchmarks) compares, so a counter added to this class is
+        picked up by all of them at once.  ``include_latency`` appends
+        ``total_latency_us`` for comparisons where both sides model the
+        same device.
+        """
+        values = (
+            self.lookups,
+            self.hits,
+            self.misses,
+            self.prefetch_admitted,
+            self.prefetch_hits,
+            self.prefetch_evicted_unused,
+            self.evictions,
+        )
+        if include_latency:
+            values += (self.total_latency_us,)
+        return values
+
     def merge(self, other: "ReplayStats") -> "ReplayStats":
         """Return the element-wise sum of two stats objects (same geometry)."""
         if (self.vector_bytes, self.block_bytes) != (other.vector_bytes, other.block_bytes):

@@ -12,7 +12,11 @@
    chosen by miniature-cache simulation at the table's assigned cache size.
 4. **Serving** — lookups hit the per-table DRAM cache first; misses read the
    owning 4 KB block from a per-table simulated NVM device and the admission
-   policy decides which of the block's other vectors enter the cache.
+   policy decides which of the block's other vectors enter the cache.  With
+   ``config.interleaved_replay``, multi-table requests (:meth:`BandanaStore.lookup_request`)
+   are fanned out across the per-table engines through the interleaved
+   store replayer (:mod:`repro.simulation.interleaved`), whose worker-sharded
+   bulk mode also backs :func:`repro.simulation.simulate_store`.
 
 The store keeps all counters needed to report the paper's metrics (effective
 bandwidth, hit rates, device latency, endurance) and can optionally return the
@@ -97,6 +101,9 @@ class BandanaStore:
         self.config = config
         self.tables = tables
         self.embedding_model = embedding_model
+        # Lazily-built interleaved request fan-out over the serving engines
+        # (used by lookup_request when config.interleaved_replay is set).
+        self._request_replayer = None
 
     # ------------------------------------------------------------------ build
     @classmethod
@@ -222,9 +229,7 @@ class BandanaStore:
                     queue_depth=self.config.queue_depth,
                     stats=state.stats,
                 )
-        if self.embedding_model is not None and table_name in self.embedding_model:
-            return self.embedding_model[table_name].gather(ids)
-        return None
+        return self._gather(table_name, ids)
 
     def lookup_batch(
         self, table_name: str, queries: Sequence[Iterable[int]]
@@ -269,7 +274,22 @@ class BandanaStore:
     def lookup_request(
         self, request: Mapping[str, Iterable[int]]
     ) -> Dict[str, Optional[np.ndarray]]:
-        """Serve one multi-table request (mapping table name → ids)."""
+        """Serve one multi-table request (mapping table name → ids).
+
+        With ``config.interleaved_replay`` the request is fanned out across
+        the per-table serving engines through one
+        :class:`~repro.simulation.interleaved.InterleavedStoreReplayer`
+        (counter-for-counter identical to the per-table loop — see the
+        schedule-equivalence invariant in
+        :mod:`repro.simulation.interleaved`); otherwise each table is
+        served by :meth:`lookup` in turn.
+        """
+        if self.config.interleaved_replay:
+            arrays = {
+                name: np.asarray(ids, dtype=np.int64) for name, ids in request.items()
+            }
+            self._interleaved_replayer().replay_request(arrays)
+            return {name: self._gather(name, ids) for name, ids in arrays.items()}
         return {name: self.lookup(name, ids) for name, ids in request.items()}
 
     def pooled_features(self, request: Mapping[str, Iterable[int]]) -> np.ndarray:
@@ -329,6 +349,7 @@ class BandanaStore:
                 block_bytes=self.config.vectors_per_block * self.config.vector_bytes,
             )
             state.engine = None  # rebuilt lazily against the fresh stats
+        self._request_replayer = None  # rebound to the fresh engines on demand
 
     # ------------------------------------------------------------- baselines
     def baseline_block_reads(self, eval_trace: ModelTrace) -> int:
@@ -356,7 +377,69 @@ class BandanaStore:
             total += stats.block_reads
         return total
 
+    def serving_engine(self, table_name: str) -> BatchReplayEngine:
+        """The table's batched serving engine (created on first use).
+
+        Public accessor for callers that drive the engines directly — the
+        interleaved store replay builds its per-table tasks from these, so
+        a replay continues exactly where serving left off.
+        """
+        if not self.config.use_batched_engine:
+            raise ValueError(
+                "serving engines exist only when config.use_batched_engine is set"
+            )
+        return self._engine(self._state(table_name))
+
+    def adopt_engine(self, table_name: str, engine: BatchReplayEngine) -> None:
+        """Install an engine replayed elsewhere (e.g. in a worker process).
+
+        Rebinds the table's stats, policy and device to the engine's so the
+        store's observable state — counters, cache contents, policy state,
+        device accounting — is exactly what in-process serving would have
+        produced, and drops the interleaved request fan-out so it is
+        rebuilt over the adopted engines.
+        """
+        state = self._state(table_name)
+        if (engine.stats.vector_bytes, engine.stats.block_bytes) != (
+            state.stats.vector_bytes,
+            state.stats.block_bytes,
+        ):
+            raise ValueError("adopted engine has a different stats geometry")
+        state.engine = engine
+        state.stats = engine.stats
+        state.policy = engine.policy
+        if engine.device is not None:
+            state.device = engine.device
+        # A policy that crossed a process boundary carries its own copy of
+        # the table's access counts; re-point it at the store's array to
+        # restore the build-time aliasing (no duplicate memory, and in-place
+        # updates to state.access_counts keep steering admissions).
+        adopted_counts = getattr(state.policy, "access_counts", None)
+        if adopted_counts is not None and np.array_equal(
+            adopted_counts, state.access_counts
+        ):
+            state.policy.access_counts = state.access_counts
+        self._request_replayer = None
+
     # ----------------------------------------------------------------- private
+    def _gather(self, table_name: str, ids: np.ndarray) -> Optional[np.ndarray]:
+        """Embedding values for ``ids``, or ``None`` in counting-only mode."""
+        if self.embedding_model is not None and table_name in self.embedding_model:
+            return self.embedding_model[table_name].gather(ids)
+        return None
+
+    def _interleaved_replayer(self):
+        """The store-wide interleaved request fan-out (created on first use)."""
+        if self._request_replayer is None:
+            # Imported here: repro.simulation imports this module at package
+            # init, so a top-level import would be circular.
+            from repro.simulation.interleaved import InterleavedStoreReplayer
+
+            self._request_replayer = InterleavedStoreReplayer(
+                {name: self._engine(state) for name, state in self.tables.items()}
+            )
+        return self._request_replayer
+
     def _engine(self, state: BandanaTableState) -> BatchReplayEngine:
         """The table's batched serving engine, created on first use.
 

@@ -89,6 +89,17 @@ class BandanaConfig:
         Serve lookups through the vectorized batch replay engine
         (:mod:`repro.caching.engine`).  The engine is bit-identical to the
         reference loop; ``False`` keeps serving on the reference path.
+    interleaved_replay:
+        Replay store-level request streams interleaved across tables (one
+        pass over the request stream, fanning each request's ids out to all
+        tables) instead of table-by-table, and serve ``lookup_request``
+        through the interleaved fan-out path.  Counters are bit-identical
+        either way (see :mod:`repro.simulation.interleaved`); requires
+        ``use_batched_engine``.
+    num_workers:
+        Worker processes for interleaved store replay: tables are sharded
+        across this many processes by lookup volume.  ``1`` replays inline
+        in the calling process.
     """
 
     vector_bytes: int = 128
@@ -105,6 +116,8 @@ class BandanaConfig:
     queue_depth: float = 8.0
     seed: int = 0
     use_batched_engine: bool = True
+    interleaved_replay: bool = False
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         check_positive(self.vector_bytes, "vector_bytes")
@@ -113,7 +126,13 @@ class BandanaConfig:
         check_positive(self.shp_iterations, "shp_iterations")
         check_positive(self.kmeans_clusters, "kmeans_clusters")
         check_positive(self.queue_depth, "queue_depth")
+        check_positive(self.num_workers, "num_workers")
         check_fraction(self.mini_cache_sampling_rate, "mini_cache_sampling_rate")
+        if self.interleaved_replay and not self.use_batched_engine:
+            raise ValueError(
+                "interleaved_replay requires use_batched_engine (the reference "
+                "loop has no interleaved serving path)"
+            )
         if self.block_bytes % self.vector_bytes != 0:
             raise ValueError(
                 "block_bytes must be a multiple of vector_bytes "

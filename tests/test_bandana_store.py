@@ -149,6 +149,95 @@ class TestServing:
         assert store.aggregate_stats().lookups == 2
 
 
+class TestServingAttribution:
+    """The PR 1 attribution note, pinned as tests.
+
+    Engine-backed serving keeps the pending-prefetch set across calls, so a
+    stream served in many ``lookup_batch`` calls must count prefetch hits
+    exactly like one uninterrupted replay of the concatenated stream — and
+    ``reset_serving_state`` must restore a clean slate that reproduces the
+    same counters again.
+    """
+
+    @staticmethod
+    def _reference_uninterrupted(store, name, queries):
+        from repro.caching.replay import replay_table_cache
+        from repro.caching.policies import AccessThresholdPolicy
+
+        state = store.tables[name]
+        policy = AccessThresholdPolicy(
+            state.access_counts, state.cache_config.threshold
+        )
+        return replay_table_cache(
+            queries,
+            state.layout,
+            policy,
+            cache_size=state.cache_config.cache_size_vectors,
+            vector_bytes=store.config.vector_bytes,
+        )
+
+    @staticmethod
+    def _counters(stats):
+        return stats.counters()
+
+    @pytest.fixture()
+    def prefetching_store(self, store_workload):
+        """A store whose admission threshold actually admits prefetches."""
+        specs, _, train, _ = store_workload
+        config = BandanaConfig(
+            total_cache_vectors=800,
+            tune_thresholds=False,
+            default_threshold=0.0,  # admit every trained vector
+            shp_iterations=4,
+        )
+        return BandanaStore.build(
+            train, config, num_vectors={n: s.num_vectors for n, s in specs.items()}
+        )
+
+    def test_multi_call_lookup_batch_matches_uninterrupted_replay(
+        self, prefetching_store, store_workload
+    ):
+        built_store = prefetching_store
+        _, _, _, evaluation = store_workload
+        queries = evaluation["alpha"].queries
+        # Serve the stream in five separate batches (plus a few per-query
+        # lookups in the middle) — attribution must survive the call splits.
+        fifth = max(1, len(queries) // 5)
+        served = 0
+        while served < len(queries):
+            chunk = queries[served : served + fifth]
+            if served // fifth == 2:
+                for query in chunk:
+                    built_store.lookup("alpha", query)
+            else:
+                built_store.lookup_batch("alpha", chunk)
+            served += len(chunk)
+        reference = self._reference_uninterrupted(built_store, "alpha", queries)
+        stats = built_store.tables["alpha"].stats
+        assert self._counters(stats) == self._counters(reference)
+        assert stats.prefetch_hits == reference.prefetch_hits > 0
+
+    def test_reset_serving_state_restores_clean_slate(
+        self, built_store, store_workload
+    ):
+        _, _, _, evaluation = store_workload
+        built_store.reset_serving_state()
+        queries = evaluation["beta"].queries
+        built_store.lookup_batch("beta", queries)
+        first = self._counters(built_store.tables["beta"].stats)
+        first_engine = built_store.tables["beta"].engine
+
+        built_store.reset_serving_state()
+        state = built_store.tables["beta"]
+        assert state.stats.lookups == 0 and state.stats.prefetch_admitted == 0
+        assert state.engine is None  # rebuilt lazily against the fresh stats
+        assert state.device.blocks_read == 0
+
+        built_store.lookup_batch("beta", queries)
+        assert self._counters(built_store.tables["beta"].stats) == first
+        assert built_store.tables["beta"].engine is not first_engine
+
+
 class TestEndToEndBandwidth:
     def test_store_beats_baseline(self, built_store, store_workload):
         """The full Bandana pipeline must read fewer NVM blocks than the

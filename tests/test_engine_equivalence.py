@@ -34,15 +34,7 @@ from repro.workloads.trace import Trace
 
 
 def counters(stats: ReplayStats):
-    return (
-        stats.lookups,
-        stats.hits,
-        stats.misses,
-        stats.prefetch_admitted,
-        stats.prefetch_hits,
-        stats.prefetch_evicted_unused,
-        stats.evictions,
-    )
+    return stats.counters()
 
 
 def random_workload(seed: int):
@@ -256,6 +248,68 @@ class TestArrayLRUCacheEdgeCases:
         assert array.evictions == 1
         array.clear()
         assert array.evictions == 0 and len(array) == 0
+
+    def test_capacity_zero_positional_inserts_are_noops(self):
+        reference = LRUCache(0)
+        array = ArrayLRUCache(0, num_slots=8)
+        for key, position in [(0, 0.0), (3, 1.0), (3, 0.5), (7, 0.0)]:
+            assert reference.insert(key, position) is None
+            assert array.insert_at(key, position) is None
+        assert len(array) == 0 and array.evictions == 0
+        assert array.keys() == reference.keys() == []
+
+    def test_capacity_one_churn_matches_reference(self):
+        """Every insert at capacity 1 evicts the sole resident, in lockstep."""
+        reference = LRUCache(1)
+        array = ArrayLRUCache(1, num_slots=16)
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            key = int(rng.integers(0, 16))
+            position = float(rng.choice([0.0, 0.3, 1.0]))
+            assert reference.insert(key, position) == array.insert_at(key, position)
+            assert reference.keys() == array.keys()
+        assert array.evictions == reference.evictions > 0
+
+    def test_reinsert_after_evict(self):
+        """An evicted key must re-enter cleanly (no stale heap interference)."""
+        reference = LRUCache(2)
+        array = ArrayLRUCache(2, num_slots=8)
+        for cache, insert in ((reference, reference.insert), (array, array.insert_at)):
+            insert(1, 0.0)
+            insert(2, 0.0)
+            evicted = insert(3, 0.0)  # evicts 1
+            assert evicted == 1
+            assert insert(1, 0.0) == 2  # re-insert the evicted key, evicting 2
+            assert cache.keys() == [1, 3]
+        assert 1 in array and 2 not in array
+        assert array.evictions == reference.evictions == 2
+
+    def test_promote_batch_on_empty_cache(self):
+        """An empty key batch is a no-op on an empty (or any) cache."""
+        array = ArrayLRUCache(4, num_slots=8)
+        array.promote_batch(np.empty(0, dtype=np.int64))
+        assert len(array) == 0 and array._heap == []
+        array.clear()
+        array.promote_batch(np.empty(0, dtype=np.int64))
+        assert array.keys() == []
+
+    def test_compaction_keeps_heap_bounded_at_tiny_capacity(self):
+        """_maybe_compact at capacity 1: heavy churn must not grow the heap."""
+        array = ArrayLRUCache(1, num_slots=4)
+        for round_ in range(2000):
+            array.insert_at(round_ % 4, 0.0)
+        # Only one entry is live; the amortised compaction schedule keeps the
+        # lazy heap within a small multiple of _COMPACT_MIN.
+        assert len(array._heap) <= 2 * ArrayLRUCache._COMPACT_MIN
+        assert len(array) == 1 and array.evictions == 1999
+
+    def test_compaction_noop_at_capacity_zero(self):
+        """Capacity 0 stores nothing, so compaction finds an empty heap."""
+        array = ArrayLRUCache(0, num_slots=4)
+        for round_ in range(500):
+            array.insert_at(round_ % 4, 0.0)
+        array._maybe_compact()
+        assert array._heap == [] and len(array) == 0
 
 
 class TestStoreBatchedServing:

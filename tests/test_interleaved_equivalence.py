@@ -1,0 +1,398 @@
+"""Equivalence contract of the interleaved multi-table store replay.
+
+The interleaved engine (:mod:`repro.simulation.interleaved`) must reproduce
+sequential :func:`~repro.simulation.runner.simulate_store` **bit for bit**,
+per table — candidate counters, baseline counters, cache contents, policy
+state and device accounting — for every replay schedule it offers: inline
+(1 worker), sharded across worker processes (N workers), and any chunk
+size.  These tests pin that contract on randomized multi-table stores that
+put all six prefetch policies and degenerate cache sizes side by side, plus
+the analytic unlimited-cache baseline and the sharding/stream helpers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.caching.lru import LRUCache
+from repro.caching.policies import (
+    AccessThresholdPolicy,
+    CacheAllBlockPolicy,
+    CombinedPolicy,
+    InsertAtPositionPolicy,
+    NoPrefetchPolicy,
+    ShadowAdmissionPolicy,
+)
+from repro.caching.replay import ReplayStats, replay_table_cache
+from repro.core.bandana import BandanaStore, BandanaTableState
+from repro.core.config import BandanaConfig, TableCacheConfig
+from repro.nvm.block import BlockLayout
+from repro.nvm.device import NVMDevice
+from repro.simulation import simulate_store
+from repro.simulation.interleaved import (
+    InterleavedStoreReplayer,
+    TableReplayTask,
+    baseline_stats_for,
+    iter_store_requests,
+    merge_replay_stats,
+    replay_store_interleaved,
+    shard_tasks,
+    unlimited_noprefetch_stats,
+)
+from repro.workloads.trace import ModelTrace, Trace
+
+VECTORS_PER_BLOCK = 8
+
+#: One table per built-in policy, with cache sizes spanning unlimited,
+#: comfortable, block-sized, churning and degenerate regimes (None means
+#: "as large as the table").
+POLICY_TABLES = {
+    "t-noprefetch": (lambda counts: NoPrefetchPolicy(), 30),
+    "t-cacheall": (lambda counts: CacheAllBlockPolicy(), None),
+    "t-insertpos": (lambda counts: InsertAtPositionPolicy(0.5), 9),
+    "t-shadow": (lambda counts: ShadowAdmissionPolicy(30, 1.5), 3),
+    "t-combined": (lambda counts: CombinedPolicy(30, position=0.7), 1),
+    "t-threshold": (lambda counts: AccessThresholdPolicy(counts, 10), 48),
+}
+
+
+def counters(stats: ReplayStats):
+    return stats.counters(include_latency=True)
+
+
+def build_store(seed: int, interleaved: bool = False, num_workers: int = 1):
+    """A multi-table store (one table per policy) plus its evaluation trace.
+
+    Layouts, cache sizes, traces and access counts are randomized per seed;
+    identical seeds produce identical stores, so two builds can be replayed
+    under different schedules and compared counter for counter.
+    """
+    rng = np.random.default_rng(seed)
+    config = BandanaConfig(
+        total_cache_vectors=100,
+        tune_thresholds=False,
+        vector_bytes=128,
+        block_bytes=VECTORS_PER_BLOCK * 128,
+        interleaved_replay=interleaved,
+        num_workers=num_workers,
+    )
+    tables = {}
+    traces = {}
+    for name, (make_policy, size) in POLICY_TABLES.items():
+        num_vectors = int(rng.integers(60, 300))
+        layout = BlockLayout(
+            rng.permutation(num_vectors).astype(np.int64), VECTORS_PER_BLOCK
+        )
+        counts = rng.integers(0, 30, size=num_vectors).astype(np.int64)
+        queries = [
+            rng.integers(0, num_vectors, size=int(rng.integers(1, 10))).astype(np.int64)
+            for _ in range(int(rng.integers(60, 120)))
+        ]
+        cache_size = num_vectors if size is None else min(size, num_vectors)
+        tables[name] = BandanaTableState(
+            name=name,
+            layout=layout,
+            cache=LRUCache(cache_size),
+            policy=make_policy(counts),
+            device=NVMDevice(
+                num_blocks=layout.num_blocks, block_bytes=config.block_bytes
+            ),
+            cache_config=TableCacheConfig(cache_size_vectors=cache_size),
+            access_counts=counts,
+            stats=ReplayStats(
+                vector_bytes=config.vector_bytes, block_bytes=config.block_bytes
+            ),
+        )
+        traces[name] = Trace(queries, num_vectors=num_vectors)
+    return BandanaStore(config, tables), ModelTrace(traces)
+
+
+def assert_stores_equal(store_a: BandanaStore, store_b: BandanaStore) -> None:
+    """Full observable-state equality: stats, cache order, device counters."""
+    for name in store_a.tables:
+        state_a, state_b = store_a.tables[name], store_b.tables[name]
+        assert counters(state_a.stats) == counters(state_b.stats), name
+        assert state_a.engine.cache.keys() == state_b.engine.cache.keys(), name
+        assert state_a.device.blocks_read == state_b.device.blocks_read, name
+
+
+class TestInterleavedMatchesSequential:
+    @pytest.mark.parametrize("num_workers", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_all_policies_and_cache_sizes(self, num_workers, seed):
+        sequential_store, trace = build_store(seed)
+        sequential = simulate_store(sequential_store, trace)
+        interleaved_store, trace_copy = build_store(
+            seed, interleaved=True, num_workers=num_workers
+        )
+        interleaved = simulate_store(interleaved_store, trace_copy)
+        assert interleaved.interleaved and interleaved.num_workers == num_workers
+        for name in trace:
+            assert counters(interleaved.per_table[name].stats) == counters(
+                sequential.per_table[name].stats
+            ), name
+            assert counters(interleaved.per_table[name].baseline_stats) == counters(
+                sequential.per_table[name].baseline_stats
+            ), name
+        assert_stores_equal(interleaved_store, sequential_store)
+        assert (
+            interleaved.total_baseline_block_reads
+            == sequential.total_baseline_block_reads
+        )
+        assert interleaved.bandwidth_increase == sequential.bandwidth_increase
+
+    @pytest.mark.parametrize("chunk_requests", [1, 3, 1000])
+    def test_every_chunk_size(self, chunk_requests):
+        sequential_store, trace = build_store(5)
+        sequential = simulate_store(sequential_store, trace)
+        chunked_store, trace_copy = build_store(5)
+        chunked = simulate_store(
+            chunked_store, trace_copy, interleaved=True, chunk_requests=chunk_requests
+        )
+        for name in trace:
+            assert counters(chunked.per_table[name].stats) == counters(
+                sequential.per_table[name].stats
+            ), name
+        assert_stores_equal(chunked_store, sequential_store)
+
+    def test_config_driven_schedule(self):
+        """store.config.interleaved_replay/num_workers select the schedule."""
+        sequential_store, trace = build_store(9)
+        simulate_store(sequential_store, trace)
+        config_store, trace_copy = build_store(9, interleaved=True, num_workers=2)
+        result = simulate_store(config_store, trace_copy)  # no explicit args
+        assert result.interleaved and result.num_workers == 2
+        assert_stores_equal(config_store, sequential_store)
+
+    def test_warm_continuation_after_sharded_replay(self):
+        """Serving after a worker-sharded replay continues bit-identically.
+
+        The worker engines (cache contents, shadow-policy state, pending
+        prefetches, device counters) are adopted back into the store, so a
+        second replay without reset must match the sequential store's.
+        """
+        sharded_store, trace_a = build_store(11, interleaved=True, num_workers=3)
+        sequential_store, trace_b = build_store(11)
+        simulate_store(sharded_store, trace_a)
+        simulate_store(sequential_store, trace_b)
+        simulate_store(sharded_store, trace_a, reset_first=False)
+        simulate_store(sequential_store, trace_b, reset_first=False)
+        assert_stores_equal(sharded_store, sequential_store)
+
+    def test_reported_workers_capped_by_tables(self):
+        """num_workers in the result is the shard count actually used."""
+        store, trace = build_store(3)
+        result = simulate_store(store, trace, interleaved=True, num_workers=16)
+        assert result.num_workers == len(trace.tables)
+
+    def test_adopted_policy_realiased_to_store_counts(self):
+        """Worker-returned policies are re-pointed at the store's counts array."""
+        store, trace = build_store(1, interleaved=True, num_workers=3)
+        simulate_store(store, trace)
+        state = store.tables["t-threshold"]
+        assert state.policy.access_counts is state.access_counts
+
+    def test_interleaved_requires_batched_engine(self):
+        store, trace = build_store(2)
+        object.__setattr__(store.config, "use_batched_engine", False)
+        with pytest.raises(ValueError):
+            simulate_store(store, trace, interleaved=True)
+
+    def test_config_rejects_interleaved_reference_serving(self):
+        with pytest.raises(ValueError):
+            BandanaConfig(interleaved_replay=True, use_batched_engine=False)
+
+
+class TestRequestStream:
+    def test_zips_ragged_tables(self):
+        trace = ModelTrace(
+            {
+                "a": Trace([[0], [1], [2]], num_vectors=4),
+                "b": Trace([[3, 2]], num_vectors=4),
+            }
+        )
+        requests = list(iter_store_requests(trace))
+        assert len(requests) == 3
+        assert set(requests[0]) == {"a", "b"}
+        np.testing.assert_array_equal(requests[0]["b"], [3, 2])
+        assert set(requests[1]) == {"a"}  # table b has run out of queries
+        np.testing.assert_array_equal(requests[2]["a"], [2])
+
+    def test_empty_trace(self):
+        assert list(iter_store_requests(ModelTrace({}))) == []
+
+
+class TestAnalyticBaseline:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unlimited_matches_reference_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        num_vectors = int(rng.integers(40, 200))
+        layout = BlockLayout(
+            rng.permutation(num_vectors).astype(np.int64), VECTORS_PER_BLOCK
+        )
+        queries = [
+            rng.integers(0, num_vectors, size=int(rng.integers(1, 12))).astype(np.int64)
+            for _ in range(80)
+        ]
+        reference = replay_table_cache(
+            queries, layout, NoPrefetchPolicy(), cache_size=None
+        )
+        analytic = unlimited_noprefetch_stats(queries, layout)
+        assert counters(analytic) == counters(reference)
+
+    def test_dispatch_unlimited_vs_limited(self):
+        rng = np.random.default_rng(3)
+        layout = BlockLayout(rng.permutation(64).astype(np.int64), VECTORS_PER_BLOCK)
+        queries = [
+            rng.integers(0, 64, size=5).astype(np.int64) for _ in range(40)
+        ]
+        for cache_size in (None, 64, 200):  # all effectively unlimited
+            stats = baseline_stats_for(queries, layout, cache_size)
+            assert counters(stats) == counters(
+                replay_table_cache(queries, layout, NoPrefetchPolicy(), cache_size=None)
+            )
+        limited = baseline_stats_for(queries, layout, 7)
+        assert counters(limited) == counters(
+            replay_table_cache(queries, layout, NoPrefetchPolicy(), cache_size=7)
+        )
+        assert limited.evictions > 0  # genuinely exercised the limited path
+
+    def test_empty_stream(self):
+        layout = BlockLayout.identity(16, VECTORS_PER_BLOCK)
+        stats = unlimited_noprefetch_stats([], layout)
+        assert counters(stats) == counters(ReplayStats(block_bytes=1024))
+
+    def test_out_of_range_ids_rejected(self):
+        layout = BlockLayout.identity(16, VECTORS_PER_BLOCK)
+        with pytest.raises(IndexError):
+            unlimited_noprefetch_stats([np.array([3, 16])], layout)
+
+
+def _dummy_tasks(lookup_counts):
+    """Tasks with controlled lookup volumes (engines are never touched)."""
+    layout = BlockLayout.identity(8, VECTORS_PER_BLOCK)
+    tasks = []
+    for index, count in enumerate(lookup_counts):
+        tasks.append(
+            TableReplayTask(
+                name=f"table{index}",
+                engine=None,  # sharding only reads name/queries
+                queries=[np.zeros(count, dtype=np.int64)] if count else [],
+            )
+        )
+    return tasks
+
+
+class TestSharding:
+    def test_partition_properties(self):
+        tasks = _dummy_tasks([100, 1, 40, 7, 55, 3])
+        for num_workers in (1, 2, 3, 4, 10):
+            shards = shard_tasks(tasks, num_workers)
+            assert len(shards) == min(num_workers, len(tasks))
+            assert all(shards)
+            names = sorted(task.name for shard in shards for task in shard)
+            assert names == sorted(task.name for task in tasks)
+
+    def test_largest_first_balance(self):
+        shards = shard_tasks(_dummy_tasks([100, 60, 50, 10]), 2)
+        loads = sorted(
+            sum(task.num_lookups for task in shard) for shard in shards
+        )
+        assert loads == [110, 110]  # greedy: 100+10 | 60+50
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            shard_tasks(_dummy_tasks([1]), 0)
+
+    def test_empty_tasks(self):
+        assert shard_tasks([], 4) == []
+        assert replay_store_interleaved([], num_workers=4) == {}
+
+    def test_duplicate_table_rejected(self):
+        tasks = _dummy_tasks([1, 2])
+        tasks[1].name = tasks[0].name
+        with pytest.raises(ValueError):
+            replay_store_interleaved(tasks, num_workers=2)
+
+
+class TestInterleavedServing:
+    def test_lookup_request_matches_per_table_loop(self):
+        loop_store, trace = build_store(7)
+        fanout_store, _ = build_store(7, interleaved=True)
+        for request in iter_store_requests(trace):
+            loop_store.lookup_request(request)
+            fanout_store.lookup_request(request)
+        for name in trace:
+            assert counters(loop_store.tables[name].stats) == counters(
+                fanout_store.tables[name].stats
+            ), name
+
+    def test_unknown_table_rejected(self):
+        store, _ = build_store(7, interleaved=True)
+        with pytest.raises(KeyError):
+            store.lookup_request({"no-such-table": [0]})
+
+    @pytest.mark.parametrize("chunk_requests", [1, 3, 1000])
+    def test_replay_requests_chunking_matches_per_request(self, chunk_requests):
+        """The streaming API's chunked flush equals per-request replay."""
+        reference_store, trace = build_store(6)
+        chunked_store, _ = build_store(6)
+        reference = InterleavedStoreReplayer(
+            {name: reference_store.serving_engine(name) for name in trace}
+        )
+        chunked = InterleavedStoreReplayer(
+            {name: chunked_store.serving_engine(name) for name in trace}
+        )
+        for request in iter_store_requests(trace):
+            reference.replay_request(request)
+        chunked.replay_requests(
+            iter_store_requests(trace), chunk_requests=chunk_requests
+        )
+        for name in trace:
+            assert counters(chunked_store.tables[name].stats) == counters(
+                reference_store.tables[name].stats
+            ), name
+            assert (
+                chunked.engines[name].cache.keys()
+                == reference.engines[name].cache.keys()
+            ), name
+
+    def test_replay_requests_rejects_bad_chunk_and_unknown_table(self):
+        store, trace = build_store(6, interleaved=True)
+        replayer = InterleavedStoreReplayer(
+            {name: store.serving_engine(name) for name in trace}
+        )
+        with pytest.raises(ValueError):
+            replayer.replay_requests(iter_store_requests(trace), chunk_requests=0)
+        with pytest.raises(KeyError):
+            replayer.replay_requests([{"no-such-table": np.array([0])}])
+
+    def test_reset_rebuilds_fanout(self):
+        """After reset_serving_state the fan-out serves a clean slate."""
+        store, trace = build_store(8, interleaved=True)
+        requests = list(iter_store_requests(trace))
+        for request in requests:
+            store.lookup_request(request)
+        first = {name: counters(store.tables[name].stats) for name in trace}
+        store.reset_serving_state()
+        assert store.aggregate_stats().lookups == 0
+        for request in requests:
+            store.lookup_request(request)
+        second = {name: counters(store.tables[name].stats) for name in trace}
+        assert first == second
+
+    def test_merge_replay_stats_aggregates(self):
+        store, trace = build_store(4, interleaved=True)
+        tasks = [
+            TableReplayTask(
+                name=name,
+                engine=store.serving_engine(name),
+                queries=table_trace.queries,
+                include_baseline=False,
+                baseline_cache_size=store.tables[name].cache_config.cache_size_vectors,
+            )
+            for name, table_trace in trace.items()
+        ]
+        results = replay_store_interleaved(tasks, num_workers=1)
+        merged = merge_replay_stats(results)
+        assert merged.lookups == sum(t.num_lookups for t in trace.tables.values())
+        assert merged.lookups == store.aggregate_stats().lookups
