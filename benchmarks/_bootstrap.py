@@ -1,0 +1,23 @@
+"""``sys.path`` bootstrap so benchmarks run without a manual ``PYTHONPATH``.
+
+``python benchmarks/bench_foo.py`` from the repository root puts only the
+``benchmarks/`` directory on ``sys.path``, so neither ``repro`` (which lives
+under ``src/``) nor the ``benchmarks`` package itself would resolve.  Every
+benchmark therefore starts with ``import _bootstrap`` — resolvable precisely
+because ``benchmarks/`` is on the path in that mode — which prepends the
+repository root and ``src/`` here.  Under pytest the same import works
+because pytest inserts each conftest's rootless directory into ``sys.path``;
+``conftest.py`` imports this module first so collection resolves
+``benchmarks.common`` too.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+for _path in (os.path.join(_ROOT, "src"), _ROOT):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)

@@ -7,6 +7,8 @@ the original layout, frequency ordering, K-means placement and SHP on a
 cacheable table and on the near-uniform table 8.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.partitioning import FrequencyPartitioner, KMeansPartitioner
 from repro.simulation.experiment import ExperimentSweep

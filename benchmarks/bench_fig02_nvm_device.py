@@ -5,6 +5,8 @@ with queue depth while bandwidth saturates around 2.3 GB/s.  This benchmark
 prints the same series from the calibrated device model.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.nvm.latency import NVMLatencyModel
 from repro.simulation.report import format_table

@@ -6,6 +6,8 @@ benchmark reports each curve at cache sizes expressed as fractions of the
 table's evaluation working set.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 import numpy as np
 
 from benchmarks.common import save_result

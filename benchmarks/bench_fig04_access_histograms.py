@@ -5,6 +5,8 @@ paper's histograms are extremely heavy-tailed (most vectors are read a handful
 of times, a few are read orders of magnitude more often).
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 import numpy as np
 
 from benchmarks.common import save_result

@@ -6,6 +6,8 @@ throughput; reading 4 KB of useful data per block (100 % effective bandwidth)
 sustains ~32× more application throughput before latency spikes.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.nvm.latency import NVMLatencyModel
 from repro.simulation.report import format_table

@@ -5,6 +5,8 @@ with the cluster count (finer grouping) and saturates, and is well below SHP's
 gain on the same table (Figure 9 / benchmark fig09).
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.partitioning import KMeansPartitioner
 from repro.simulation.experiment import ExperimentSweep

@@ -8,6 +8,8 @@ the recursive variant grows slowly, and SHP costing minutes-equivalent per
 table — is what the benchmark checks.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from benchmarks.conftest import TOP_TABLES
 from repro.partitioning import (

@@ -5,6 +5,8 @@ its effective-bandwidth increase is close to flat K-means with the same number
 of leaf clusters and saturates beyond a few thousand sub-clusters.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.partitioning import KMeansPartitioner, RecursiveKMeansPartitioner
 from repro.simulation.experiment import ExperimentSweep

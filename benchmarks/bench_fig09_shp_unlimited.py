@@ -6,6 +6,8 @@ better placement, and the per-table gains follow the tables' cacheability
 (table 2 highest, table 8 lowest).
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.partitioning import SHPPartitioner
 from repro.simulation.experiment import ExperimentSweep

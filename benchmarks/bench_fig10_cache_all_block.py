@@ -6,6 +6,8 @@ to the no-prefetch baseline, both for the SHP-partitioned tables and for the
 original (unsorted) tables.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import cache_sizes_for, save_result
 from repro.caching.policies import CacheAllBlockPolicy
 from repro.simulation.experiment import ExperimentSweep

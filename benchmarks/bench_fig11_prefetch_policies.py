@@ -6,6 +6,8 @@ measured against the no-prefetch baseline on table 2 with limited caches, as
 in the paper.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import cache_sizes_for, save_result
 from repro.caching.policies import (
     CombinedPolicy,

@@ -10,6 +10,8 @@ count distribution (see ``benchmarks.common.threshold_candidates``); the
 paper's absolute values (5–20) correspond to a 5 B-lookup training run.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import cache_sizes_for, save_result, threshold_candidates
 from repro.caching.policies import AccessThresholdPolicy
 from repro.simulation.experiment import ExperimentSweep

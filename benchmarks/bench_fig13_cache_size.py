@@ -6,6 +6,8 @@ held-out traces for all eight tables.  Gains grow with the cache size, and
 cacheable tables (1, 2, 7) gain far more than near-uniform ones (8).
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from benchmarks.conftest import ALL_TABLES
 from repro.core.bandana import BandanaStore

@@ -5,6 +5,8 @@ sampling rates and compared against the full-cache oracle: the sampled tuner
 should track the oracle closely even at aggressive down-sampling.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.caching.miniature import MiniatureCacheTuner
 from repro.caching.policies import AccessThresholdPolicy

@@ -5,6 +5,8 @@ the training trace (the paper's 200 M / 1 B / 5 B sweep): more training data
 improves the placement and therefore the end-to-end gain.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.core.bandana import BandanaStore
 from repro.core.config import BandanaConfig

@@ -6,6 +6,8 @@ larger vectors shrink the opportunity.  The benchmark rebuilds the per-table
 placement and cache for 64 / 128 / 256 B vectors.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import save_result
 from repro.caching.policies import AccessThresholdPolicy, NoPrefetchPolicy
 from repro.caching.replay import effective_bandwidth_increase, replay_table_cache

@@ -24,6 +24,8 @@ future PRs can track the perf trajectory.
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 import json
 import os
 import time

@@ -33,6 +33,8 @@ Run directly (``python benchmarks/bench_store_replay.py``), optionally with
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 import json
 import os
 import sys

@@ -5,6 +5,8 @@ request, share of total lookups, compulsory misses) from a share-split
 synthetic model trace and prints them next to the paper's values.
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import BENCH_SCALE, save_result
 from repro.simulation.report import format_table
 from repro.workloads import generate_model_trace, scaled_table_specs

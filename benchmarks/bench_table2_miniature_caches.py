@@ -9,6 +9,8 @@ scale; the scaled workload needs higher rates because its absolute working set
 is three orders of magnitude smaller).
 """
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 from benchmarks.common import cache_sizes_for, save_result, threshold_candidates
 from repro.caching.miniature import MiniatureCacheTuner
 from repro.caching.policies import AccessThresholdPolicy

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
 import numpy as np
 import pytest
 

@@ -2,29 +2,42 @@
 
 The scenario from the paper's introduction: a ranking service must score many
 candidate posts per user request.  User-embedding tables are moved from DRAM
-to NVM behind a :class:`repro.BandanaStore`; the dense ranking network stays in
-DRAM and consumes the pooled embedding features the store returns.
+to NVM behind a :class:`repro.BandanaStore`; the dense ranking network stays
+in DRAM and consumes the pooled embedding features the store returns.
 
 The script builds a two-table model (a "pages liked" table and a "clicks"
-table), replays a stream of ranking requests through the store and through an
-all-DRAM reference, and reports ranking agreement, cache behaviour, NVM load
-and the DRAM cost of both deployments.
+table), checks that the NVM-backed store ranks exactly like an all-DRAM
+reference, and then drives the store through the event-driven batch-serving
+front-end (:mod:`repro.serving`): an open-loop Poisson arrival stream is
+queued, dynamically batched and priced against the NVM device's
+load-feedback latency model, yielding the end-to-end latency percentiles,
+throughput and SLO behaviour a user of the service would see — batched
+versus unbatched, at a comfortable load and near device saturation.
 
-Run with ``python examples/recommendation_serving.py``.
+Run with ``python examples/recommendation_serving.py`` (no ``PYTHONPATH``
+needed).
 """
 
 from __future__ import annotations
 
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
 import numpy as np
 
-from repro import BandanaConfig, BandanaStore
+from repro import BandanaConfig, BandanaStore, ServingConfig
 from repro.embeddings import (
     EmbeddingModel,
     EmbeddingTable,
     RecommendationModel,
     synthesize_topic_vectors,
 )
-from repro.nvm import DRAMModel, NVMLatencyModel
+from repro.nvm import DRAMModel
+from repro.serving import simulate_serving
 from repro.workloads import SyntheticTraceGenerator, scaled_table_specs, paper_shaped_lookups
 from repro.workloads.trace import ModelTrace
 
@@ -32,20 +45,31 @@ from repro.workloads.trace import ModelTrace
 def build_workload():
     """Two user-embedding tables with consistent traces and values."""
     specs = scaled_table_specs(1 / 1000, names=["table1", "table7"])
-    generators = {}
     train, evaluation = {}, {}
     embedding_model = EmbeddingModel()
     for index, (name, spec) in enumerate(specs.items()):
         lookups = paper_shaped_lookups(spec)
         generator = SyntheticTraceGenerator(spec, seed=10 + index, expected_lookups=lookups)
-        generators[name] = generator
         train[name] = generator.generate_lookups(3 * lookups)
-        evaluation[name] = generator.generate_lookups(lookups // 2)
+        evaluation[name] = generator.generate_lookups(lookups)
         values = synthesize_topic_vectors(generator.topic_of(), dim=32, noise=0.45, seed=index)
         embedding_model.add_table(
             EmbeddingTable(name, spec.num_vectors, dim=32, values=values)
         )
     return specs, ModelTrace(train), ModelTrace(evaluation), embedding_model
+
+
+def check_ranking_agreement(store, ranking_model, eval_trace, num_requests=32):
+    """The store must rank exactly like all-DRAM: Bandana moves data, not math."""
+    names = list(eval_trace.tables)
+    mismatches = 0
+    for i in range(num_requests):
+        request = {name: eval_trace[name].queries[i] for name in names}
+        pooled_from_store = store.pooled_features(request)
+        score = ranking_model.score(request, pooled=pooled_from_store)
+        if not np.isclose(score, ranking_model.score(request)):
+            mismatches += 1
+    return mismatches
 
 
 def main() -> None:
@@ -70,44 +94,50 @@ def main() -> None:
             f"admission threshold t={state.cache_config.threshold:.0f}"
         )
 
+    mismatches = check_ranking_agreement(store, ranking_model, eval_trace)
+    print(f"\nranking agreement vs all-DRAM reference: {mismatches} mismatches")
+
     # ---------------------------------------------------------------- serving
-    # Interleave the tables' queries into ranking requests: each request reads
-    # one query from every table, scores it, and compares against the all-DRAM
-    # reference (they must agree exactly — Bandana changes placement, not data).
-    names = list(eval_trace.tables)
-    num_requests = min(len(eval_trace[name]) for name in names)
-    mismatches = 0
-    scores = []
-    for i in range(num_requests):
-        request = {name: eval_trace[name].queries[i] for name in names}
-        pooled_from_store = store.pooled_features(request)
-        score = ranking_model.score(request, pooled=pooled_from_store)
-        reference = ranking_model.score(request)
-        if not np.isclose(score, reference):
-            mismatches += 1
-        scores.append(score)
+    # Drive the same evaluation stream through the batch-serving front-end at
+    # two offered loads: comfortable, and past the device's saturation point.
+    slo_us = 2000.0
+    print(f"\nopen-loop serving (Poisson arrivals, SLO {slo_us:.0f} us):")
+    print(f"{'rate (rps)':>11} | {'arm':<9} | {'p50':>6} | {'p95':>7} | "
+          f"{'p99':>7} | {'tput (rps)':>10} | {'SLO miss':>8} | {'hit rate':>8}")
+    reports = {}
+    for rate in (4_000, 40_000):
+        for arm, knobs in (
+            ("batched", dict(max_batch_requests=16, max_linger_us=300.0)),
+            ("unbatched", dict(max_batch_requests=1)),
+        ):
+            report = simulate_serving(
+                store,
+                eval_trace,
+                ServingConfig(arrival_rate_rps=rate, slo_latency_us=slo_us, **knobs),
+            )
+            reports[(rate, arm)] = report
+            latency = report.latency
+            print(
+                f"{rate:>11,} | {arm:<9} | {latency.p50_us:>6,.0f} | "
+                f"{latency.p95_us:>7,.0f} | {latency.p99_us:>7,.0f} | "
+                f"{report.throughput_rps:>10,.0f} | "
+                f"{100 * report.slo_violation_rate:>7.1f}% | "
+                f"{100 * report.hit_rate:>7.1f}%"
+            )
 
-    stats = store.aggregate_stats()
-    bandwidth = store.effective_bandwidth()
-    print(f"\nserved {num_requests} ranking requests "
-          f"({stats.lookups} embedding lookups), score mismatches vs DRAM: {mismatches}")
-    print(f"cache hit rate {stats.hit_rate:.2f}, "
-          f"prefetches admitted {stats.prefetch_admitted}, used {stats.prefetch_hits}")
-    print(f"NVM blocks read: {stats.block_reads} "
-          f"(effective bandwidth {bandwidth.fraction:.2f} app bytes / NVM byte)")
+    hot = reports[(40_000, "batched")]
+    print(
+        f"\nat 40k rps the batcher forms ~{hot.mean_batch_size:.1f}-request "
+        f"batches and the device runs at queue depth ~{hot.mean_queue_depth:.0f}; "
+        f"steady-state device model cross-check: mean "
+        f"{hot.steady_state.mean_us:.0f} us, p99 {hot.steady_state.p99_us:.0f} us "
+        f"per read under that load"
+    )
 
-    # ----------------------------------------------------------- latency/TCO
-    latency_model = NVMLatencyModel()
-    app_mbps = 150.0
-    baseline = latency_model.application_latency(app_mbps, 128 / 4096)
-    bandana = latency_model.application_latency(app_mbps, min(1.0, bandwidth.fraction))
-    print(f"\nat {app_mbps:.0f} MB/s of embedding traffic: "
-          f"baseline policy mean latency {baseline.mean_us:.0f} us, "
-          f"Bandana {bandana.mean_us:.0f} us")
-
+    # ----------------------------------------------------------------- TCO
     dram = DRAMModel()
     saving = dram.savings_vs_all_dram(embedding_model.nbytes, store.dram_bytes())
-    print(f"TCO: {100 * saving:.0f}% cheaper than keeping both tables fully in DRAM "
+    print(f"\nTCO: {100 * saving:.0f}% cheaper than keeping both tables fully in DRAM "
           f"({store.dram_bytes() / 1024:.0f} KiB DRAM cache vs "
           f"{embedding_model.nbytes / 1024:.0f} KiB all-DRAM)")
 

@@ -23,13 +23,14 @@ See ``DESIGN.md`` for the full module map and the per-experiment index.
 """
 
 from repro.core.bandana import BandanaStore, BandanaTableState
-from repro.core.config import BandanaConfig, TableCacheConfig
+from repro.core.config import BandanaConfig, ServingConfig, TableCacheConfig
 from repro.core.metrics import CacheStats, EffectiveBandwidth, LatencyStats
 
 __all__ = [
     "BandanaStore",
     "BandanaTableState",
     "BandanaConfig",
+    "ServingConfig",
     "TableCacheConfig",
     "CacheStats",
     "EffectiveBandwidth",

@@ -206,12 +206,14 @@ class BandanaStore:
         return cls(config, tables, embedding_model=embedding_model)
 
     # ---------------------------------------------------------------- serving
-    def lookup(self, table_name: str, vector_ids) -> Optional[np.ndarray]:
+    def lookup(self, table_name: str, vector_ids, gather: bool = True) -> Optional[np.ndarray]:
         """Serve one query against one table.
 
         Runs the cache/prefetch machinery (updating all counters) and returns
         the embedding vectors when the store holds an embedding model, or
-        ``None`` in counting-only mode.
+        ``None`` in counting-only mode.  ``gather=False`` skips the embedding
+        gather even when values are available (counters-only callers like the
+        serving simulator measure load, not data).
         """
         state = self._state(table_name)
         ids = np.asarray(vector_ids, dtype=np.int64)
@@ -229,10 +231,10 @@ class BandanaStore:
                     queue_depth=self.config.queue_depth,
                     stats=state.stats,
                 )
-        return self._gather(table_name, ids)
+        return self._gather(table_name, ids) if gather else None
 
     def lookup_batch(
-        self, table_name: str, queries: Sequence[Iterable[int]]
+        self, table_name: str, queries: Sequence[Iterable[int]], gather: bool = True
     ) -> Optional[List[np.ndarray]]:
         """Serve a batch of queries against one table in one engine pass.
 
@@ -240,7 +242,7 @@ class BandanaStore:
         but the cache machinery runs through the vectorized batch engine so
         hit runs spanning query boundaries are processed in bulk.  Returns
         one embedding array per query when the store holds an embedding
-        model, or ``None`` in counting-only mode.
+        model, or ``None`` in counting-only mode (or when ``gather=False``).
         """
         state = self._state(table_name)
         id_arrays = [np.asarray(ids, dtype=np.int64) for ids in queries]
@@ -266,13 +268,13 @@ class BandanaStore:
                         queue_depth=self.config.queue_depth,
                         stats=state.stats,
                     )
-        if self.embedding_model is not None and table_name in self.embedding_model:
+        if gather and self.embedding_model is not None and table_name in self.embedding_model:
             table = self.embedding_model[table_name]
             return [table.gather(ids) for ids in id_arrays]
         return None
 
     def lookup_request(
-        self, request: Mapping[str, Iterable[int]]
+        self, request: Mapping[str, Iterable[int]], gather: bool = True
     ) -> Dict[str, Optional[np.ndarray]]:
         """Serve one multi-table request (mapping table name → ids).
 
@@ -282,15 +284,22 @@ class BandanaStore:
         (counter-for-counter identical to the per-table loop — see the
         schedule-equivalence invariant in
         :mod:`repro.simulation.interleaved`); otherwise each table is
-        served by :meth:`lookup` in turn.
+        served by :meth:`lookup` in turn.  ``gather=False`` skips the
+        embedding gathers (counters-only serving).
         """
         if self.config.interleaved_replay:
             arrays = {
                 name: np.asarray(ids, dtype=np.int64) for name, ids in request.items()
             }
             self._interleaved_replayer().replay_request(arrays)
-            return {name: self._gather(name, ids) for name, ids in arrays.items()}
-        return {name: self.lookup(name, ids) for name, ids in request.items()}
+            return {
+                name: self._gather(name, ids) if gather else None
+                for name, ids in arrays.items()
+            }
+        return {
+            name: self.lookup(name, ids, gather=gather)
+            for name, ids in request.items()
+        }
 
     def pooled_features(self, request: Mapping[str, Iterable[int]]) -> np.ndarray:
         """Serve a request and return the concatenated sum-pooled features.

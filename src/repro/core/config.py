@@ -20,6 +20,89 @@ ALLOCATION_POLICIES = ("hit-rate", "proportional", "uniform")
 #: Placement algorithms the store knows how to build.
 PARTITIONERS = ("shp", "kmeans", "recursive-kmeans", "frequency", "identity")
 
+#: Arrival processes the serving front-end can generate.
+ARRIVAL_PROCESSES = ("poisson", "mmpp")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the batch-serving front-end (:mod:`repro.serving`).
+
+    Attributes
+    ----------
+    arrival_rate_rps:
+        Long-run request arrival rate in requests per second.  For the MMPP
+        process this is the *stationary* mean rate, so sweeps over
+        ``arrival_rate_rps`` offer the same average load regardless of the
+        process shape.
+    arrival_process:
+        ``"poisson"`` (memoryless open-loop arrivals) or ``"mmpp"`` (a
+        two-state Markov-modulated Poisson process producing bursts).
+    mmpp_burst_factor:
+        Ratio of the bursty state's arrival rate to the quiet state's.
+    mmpp_burst_fraction:
+        Stationary fraction of time spent in the bursty state.
+    mmpp_mean_dwell_s:
+        Mean sojourn time of one visit to the bursty state, in seconds (the
+        quiet state's dwell is derived from ``mmpp_burst_fraction``).
+    max_batch_requests:
+        Dynamic-batcher size cutoff: a batch is dispatched as soon as it
+        holds this many requests.  ``1`` disables batching.
+    max_linger_us:
+        Dynamic-batcher time cutoff: a batch is dispatched once its oldest
+        request has waited this long, full or not.
+    slo_latency_us:
+        Per-request latency SLO; the report counts violations against it.
+    request_overhead_us:
+        Fixed non-device latency added to every request (queueing-free
+        front-end compute: pooling, RPC framing).
+    max_device_queue_depth:
+        Cap on the queue depth fed to the NVM latency model — the device
+        exposes only so many submission slots, so deeper backlogs raise
+        queueing delay (serial rounds) rather than device-internal depth.
+    throughput_window_s:
+        Trailing window over which the latency accountant measures device
+        throughput for the loaded-latency feedback.
+    seed:
+        Seed of the arrival process; ``None`` inherits the store seed.
+    """
+
+    arrival_rate_rps: float = 2000.0
+    arrival_process: str = "poisson"
+    mmpp_burst_factor: float = 4.0
+    mmpp_burst_fraction: float = 0.2
+    mmpp_mean_dwell_s: float = 0.02
+    max_batch_requests: int = 16
+    max_linger_us: float = 500.0
+    slo_latency_us: float = 2000.0
+    request_overhead_us: float = 5.0
+    max_device_queue_depth: float = 64.0
+    throughput_window_s: float = 0.05
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive(self.arrival_rate_rps, "arrival_rate_rps")
+        check_positive(self.mmpp_burst_factor, "mmpp_burst_factor")
+        check_positive(self.mmpp_mean_dwell_s, "mmpp_mean_dwell_s")
+        check_positive(self.max_batch_requests, "max_batch_requests")
+        check_positive(self.slo_latency_us, "slo_latency_us")
+        check_positive(self.max_device_queue_depth, "max_device_queue_depth")
+        check_positive(self.throughput_window_s, "throughput_window_s")
+        if self.max_linger_us < 0:
+            raise ValueError("max_linger_us must be >= 0")
+        if self.request_overhead_us < 0:
+            raise ValueError("request_overhead_us must be >= 0")
+        check_fraction(self.mmpp_burst_fraction, "mmpp_burst_fraction")
+        if self.arrival_process not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"arrival_process must be one of {ARRIVAL_PROCESSES}, "
+                f"got {self.arrival_process!r}"
+            )
+        if self.arrival_process == "mmpp" and not 0 < self.mmpp_burst_fraction < 1:
+            raise ValueError(
+                "mmpp_burst_fraction must lie strictly between 0 and 1"
+            )
+
 
 @dataclass(frozen=True)
 class TableCacheConfig:
@@ -100,6 +183,10 @@ class BandanaConfig:
         Worker processes for interleaved store replay: tables are sharded
         across this many processes by lookup volume.  ``1`` replays inline
         in the calling process.
+    serving:
+        Batch-serving front-end configuration consumed by
+        :func:`repro.serving.simulate_serving` (arrival process, batching
+        cutoffs, SLO and device-feedback knobs).
     """
 
     vector_bytes: int = 128
@@ -118,6 +205,7 @@ class BandanaConfig:
     use_batched_engine: bool = True
     interleaved_replay: bool = False
     num_workers: int = 1
+    serving: ServingConfig = ServingConfig()
 
     def __post_init__(self) -> None:
         check_positive(self.vector_bytes, "vector_bytes")

@@ -17,6 +17,23 @@ spike.
 
 The constants default to the paper's measurements and are all overridable, so
 benchmarks can model faster or slower devices.
+
+Domain clamping
+---------------
+Closed-loop callers (the serving front-end in :mod:`repro.serving` feeds
+*observed* queue depths and throughputs back into this model) can legitimately
+produce boundary values an ``fio`` sweep never would: a momentarily idle
+device observes queue depth 0, and an overloaded one offers more throughput
+than the device can absorb.  The model therefore clamps instead of raising at
+both edges:
+
+* queue depths in ``[0, 1)`` behave as depth 1 — the device always has at
+  least the one read being served in flight; negative or non-finite depths
+  remain errors,
+* utilisation at or beyond 1 returns the saturation ceiling
+  (``saturation_ceiling`` × the unloaded latency), and the pre-saturation
+  blow-up is capped at that same ceiling, so loaded latency is monotone
+  non-decreasing in offered throughput with no discontinuity at saturation.
 """
 
 from __future__ import annotations
@@ -25,7 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.validation import check_fraction, check_positive
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
 
 
 @dataclass(frozen=True)
@@ -59,6 +76,9 @@ class NVMLatencyModel:
         faster than the mean, as in Figure 2a).
     saturation_knee:
         Utilisation at which loaded latency starts to climb steeply (Fig. 5).
+    saturation_ceiling:
+        Multiple of the unloaded latency reported at (and clamped to near)
+        full utilisation; keeps load sweeps finite and monotone.
     """
 
     block_bytes: int = 4096
@@ -69,6 +89,7 @@ class NVMLatencyModel:
     p99_multiplier: float = 2.5
     p99_depth_multiplier: float = 0.6
     saturation_knee: float = 0.85
+    saturation_ceiling: float = 100.0
 
     def __post_init__(self) -> None:
         check_positive(self.block_bytes, "block_bytes")
@@ -77,23 +98,30 @@ class NVMLatencyModel:
         check_positive(self.base_latency_us, "base_latency_us")
         check_positive(self.p99_multiplier, "p99_multiplier")
         check_fraction(self.saturation_knee, "saturation_knee")
+        check_positive(self.saturation_ceiling, "saturation_ceiling")
+
+    @staticmethod
+    def _clamp_depth(queue_depth: float) -> float:
+        """Clamp queue depths in ``[0, 1)`` to 1 (see "Domain clamping")."""
+        check_non_negative(queue_depth, "queue_depth")
+        return max(float(queue_depth), 1.0)
 
     # ------------------------------------------------------- unloaded (Fig 2)
     def bandwidth_gbps(self, queue_depth: float) -> float:
         """Random-read bandwidth (GB/s) at the given queue depth."""
-        check_positive(queue_depth, "queue_depth")
+        queue_depth = self._clamp_depth(queue_depth)
         return self.max_bandwidth_gbps * queue_depth / (
             queue_depth + self.bandwidth_half_depth
         )
 
     def mean_latency_us(self, queue_depth: float) -> float:
         """Mean 4 KB read latency (µs) at the given queue depth, unloaded."""
-        check_positive(queue_depth, "queue_depth")
+        queue_depth = self._clamp_depth(queue_depth)
         return self.base_latency_us + self.latency_per_depth_us * (queue_depth - 1.0)
 
     def p99_latency_us(self, queue_depth: float) -> float:
         """P99 4 KB read latency (µs) at the given queue depth, unloaded."""
-        check_positive(queue_depth, "queue_depth")
+        queue_depth = self._clamp_depth(queue_depth)
         multiplier = self.p99_multiplier + self.p99_depth_multiplier * (queue_depth - 1.0)
         return self.mean_latency_us(queue_depth) * multiplier
 
@@ -108,8 +136,11 @@ class NVMLatencyModel:
         ``device_throughput_mbps`` is the rate of bytes physically read from
         the device (block reads × block size), *not* the application-useful
         bytes.  As it approaches the device's saturated bandwidth, latency
-        rises sharply; beyond saturation the model returns a very large value
-        rather than raising, which keeps sweep-style benchmarks simple.
+        rises sharply; at and beyond saturation the model returns the
+        ``saturation_ceiling`` multiple of the unloaded latency rather than
+        raising, and the pre-saturation blow-up is capped at that same
+        ceiling, so the result is monotone non-decreasing in throughput
+        (closed-loop callers rely on this — see "Domain clamping" above).
         """
         if device_throughput_mbps < 0:
             raise ValueError("device_throughput_mbps must be >= 0")
@@ -118,14 +149,13 @@ class NVMLatencyModel:
         base_mean = self.mean_latency_us(queue_depth)
         base_p99 = self.p99_latency_us(queue_depth)
         if utilisation >= 1.0:
-            # Saturated: report a latency ceiling two orders above unloaded.
-            return LoadedLatency(mean_us=base_mean * 100.0, p99_us=base_p99 * 100.0)
-        # Piecewise queueing blow-up: gentle before the knee, 1/(1-u) after.
-        if utilisation <= self.saturation_knee:
+            inflation = self.saturation_ceiling
+        elif utilisation <= self.saturation_knee:
+            # Piecewise queueing blow-up: gentle before the knee, 1/(1-u) after.
             inflation = 1.0 + utilisation / (1.0 - self.saturation_knee) * 0.25
         else:
             inflation = (1.0 - self.saturation_knee * 0.25) / (1.0 - utilisation)
-        inflation = max(inflation, 1.0)
+        inflation = min(max(inflation, 1.0), self.saturation_ceiling)
         return LoadedLatency(mean_us=base_mean * inflation, p99_us=base_p99 * inflation)
 
     def application_latency(

@@ -1,0 +1,76 @@
+"""Async batch-serving front-end with NVM-aware latency percentiles.
+
+Why this package exists
+-----------------------
+Bandana (Eisenman et al., MLSYS 2019) justifies every placement and caching
+decision by its effect on NVM read load and on the latency the device
+delivers *under that load*: Figure 2 measures the device's latency/bandwidth
+curve, and Figure 5 shows application latency spiking as the baseline
+policy's wasted block reads push the device towards saturation.  The rest of
+this repository measures the first half of that argument (hit rates, block
+reads, effective bandwidth); this package measures the second half — the
+end-to-end request latency a ranking service would observe — making the
+"millions of users" serving scenario quantifiable as p50/p95/p99/p999
+latency, sustained throughput and SLO violations.
+
+The event-driven model
+----------------------
+Everything runs on a **simulated clock** — there are no wall-time sleeps, and
+a simulation is a deterministic function of (store, trace, config, seed):
+
+* :mod:`~repro.serving.arrivals` generates an **open-loop** arrival process
+  (Poisson, or a two-state MMPP for bursts) over the zipped multi-table
+  request stream.  Open-loop means arrivals do not slow down when the store
+  falls behind, so saturation appears as growing queueing delay — the
+  behaviour Figure 5 is about — rather than as a silently stretched clock.
+* :mod:`~repro.serving.batcher` queues requests and forms **dynamic
+  batches** under a size cutoff (``max_batch_requests``) and a time cutoff
+  (``max_linger_us``); each formed batch is fanned out to the store in one
+  ``lookup_batch`` pass per touched table.
+* :mod:`~repro.serving.accountant` prices each batch's demand misses on a
+  FIFO device clock, feeding the **observed queue depth** and the
+  trailing-window **device throughput** back into
+  :meth:`repro.nvm.latency.NVMLatencyModel.loaded_latency` — so per-request
+  latency reflects the device-load feedback the paper measures, including
+  the blow-up past the saturation knee.
+* :mod:`~repro.serving.report` condenses the run into a
+  :class:`~repro.serving.report.ServingReport` (latency percentiles,
+  throughput, batch-size and queue-depth histograms, SLO violations, and a
+  closed-form Figure-5 cross-check via ``application_latency``).
+
+Entry point: :func:`~repro.serving.frontend.simulate_serving`, also exported
+as :func:`repro.simulation.simulate_serving` next to ``simulate_store``.  The
+knobs live in :class:`repro.core.config.ServingConfig`, reachable as
+``BandanaConfig.serving``.  ``benchmarks/bench_serving_latency.py`` sweeps
+arrival rates up to device saturation, batched vs unbatched.
+"""
+
+from repro.core.config import ServingConfig
+from repro.serving.accountant import BatchServiceRecord, DeviceLatencyAccountant
+from repro.serving.arrivals import (
+    arrival_times,
+    mmpp_arrival_times,
+    poisson_arrival_times,
+)
+from repro.serving.batcher import Batch, form_batches
+from repro.serving.frontend import simulate_serving
+from repro.serving.report import (
+    LatencySummary,
+    ServingReport,
+    depth_histogram,
+)
+
+__all__ = [
+    "ServingConfig",
+    "BatchServiceRecord",
+    "DeviceLatencyAccountant",
+    "arrival_times",
+    "mmpp_arrival_times",
+    "poisson_arrival_times",
+    "Batch",
+    "form_batches",
+    "simulate_serving",
+    "LatencySummary",
+    "ServingReport",
+    "depth_histogram",
+]

@@ -1,0 +1,175 @@
+"""The event-driven serving front-end: arrivals → batcher → store → latency.
+
+:func:`simulate_serving` is the serving-side sibling of
+:func:`repro.simulation.simulate_store`: instead of replaying a trace as fast
+as Python allows and reporting counters, it replays the *same* request stream
+on a simulated clock under an open-loop arrival process and reports what a
+user would see — end-to-end latency percentiles, sustained throughput and SLO
+violations — with the device's load-feedback latency (paper Figure 5) closing
+the loop.
+
+One simulation step per dispatched batch:
+
+1. the dynamic batcher (:mod:`repro.serving.batcher`) fixes the batch's
+   membership and dispatch time from the arrival process alone,
+2. the batch's requests are fanned out through the store — one
+   :meth:`~repro.core.bandana.BandanaStore.lookup_batch` per touched table
+   (or one :meth:`~repro.core.bandana.BandanaStore.lookup_request` for
+   unbatched serving) — and the store's miss counters yield the batch's NVM
+   block reads,
+3. the latency accountant (:mod:`repro.serving.accountant`) prices those
+   reads under the currently observed device queue depth and throughput and
+   schedules the batch's completion on the FIFO device clock,
+4. every request in the batch completes together; its latency is
+   ``completion − arrival + request_overhead_us``.
+
+The cache counters the store accumulates are bit-identical to a plain
+:func:`~repro.simulation.simulate_store` replay of the same requests — the
+front-end only re-times the exact same work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.bandana import BandanaStore
+from repro.core.config import ServingConfig
+from repro.nvm.latency import NVMLatencyModel
+from repro.serving.accountant import DeviceLatencyAccountant
+from repro.serving.arrivals import arrival_times
+from repro.serving.batcher import form_batches
+from repro.serving.report import LatencySummary, ServingReport, depth_histogram
+from repro.workloads.trace import ModelTrace
+
+
+def simulate_serving(
+    store: BandanaStore,
+    eval_trace: ModelTrace,
+    config: Optional[ServingConfig] = None,
+    num_requests: Optional[int] = None,
+    reset_first: bool = True,
+    latency_model: Optional[NVMLatencyModel] = None,
+) -> ServingReport:
+    """Serve a model trace through a store under an open-loop arrival process.
+
+    Parameters
+    ----------
+    store:
+        A built :class:`~repro.core.bandana.BandanaStore`.
+    eval_trace:
+        Per-table queries, zipped into multi-table requests exactly like
+        :func:`repro.simulation.interleaved.iter_store_requests` (request
+        ``i`` reads every table's ``i``-th query).
+    config:
+        Serving knobs; defaults to ``store.config.serving``.
+    num_requests:
+        Optional cap on the number of requests served (the default serves
+        the whole zipped stream).
+    reset_first:
+        Clear the store's serving state first so runs start cold and are
+        reproducible, like the paper's experiments.
+    latency_model:
+        Latency model of the serving tier's NVM device; defaults to the
+        paper-calibrated :class:`~repro.nvm.latency.NVMLatencyModel` at the
+        store's block size.
+    """
+    # Imported here: repro.simulation imports this package at init time, so
+    # a module-level import would be circular (same pattern as bandana.py).
+    from repro.simulation.interleaved import iter_store_requests
+
+    config = config or store.config.serving
+    if reset_first:
+        store.reset_serving_state()
+    requests = list(iter_store_requests(eval_trace))
+    if num_requests is not None:
+        requests = requests[: int(num_requests)]
+    n = len(requests)
+
+    seed = store.config.seed if config.seed is None else config.seed
+    arrival_us = arrival_times(config, n, seed=seed) * 1e6
+    batches = form_batches(arrival_us, config.max_batch_requests, config.max_linger_us)
+
+    model = latency_model or NVMLatencyModel(block_bytes=store.config.block_bytes)
+    accountant = DeviceLatencyAccountant(
+        model,
+        block_bytes=store.config.block_bytes,
+        max_queue_depth=config.max_device_queue_depth,
+        throughput_window_s=config.throughput_window_s,
+    )
+
+    states = list(store.tables.values())
+    stats_before = store.aggregate_stats()
+    misses_before = sum(state.stats.misses for state in states)
+
+    latencies = np.empty(n, dtype=np.float64)
+    batch_sizes = np.empty(len(batches), dtype=np.int64)
+    last_completion_us = 0.0
+    for b, batch in enumerate(batches):
+        # gather=False: the simulator measures load and latency, not data —
+        # embedding gathers would cost per-lookup work whose result is unused.
+        if batch.size == 1:
+            store.lookup_request(requests[batch.start], gather=False)
+        else:
+            per_table: Dict[str, List[np.ndarray]] = {}
+            for request in requests[batch.start : batch.stop]:
+                for name, ids in request.items():
+                    per_table.setdefault(name, []).append(ids)
+            for name, queries in per_table.items():
+                store.lookup_batch(name, queries, gather=False)
+        misses_after = sum(state.stats.misses for state in states)
+        record = accountant.serve_batch(batch.dispatch_us, misses_after - misses_before)
+        misses_before = misses_after
+        latencies[batch.start : batch.stop] = (
+            record.completion_us
+            - arrival_us[batch.start : batch.stop]
+            + config.request_overhead_us
+        )
+        batch_sizes[b] = batch.size
+        last_completion_us = max(last_completion_us, record.completion_us)
+
+    stats_after = store.aggregate_stats()
+    lookups = stats_after.lookups - stats_before.lookups
+    hits = stats_after.hits - stats_before.hits
+    blocks_read = stats_after.misses - stats_before.misses
+    app_bytes = lookups * store.config.vector_bytes
+    nvm_bytes = blocks_read * store.config.block_bytes
+
+    makespan_us = last_completion_us - (float(arrival_us[0]) if n else 0.0)
+    makespan_s = makespan_us / 1e6
+    depths = np.array([r.queue_depth for r in accountant.records], dtype=np.float64)
+    mbps = np.array([r.device_mbps for r in accountant.records], dtype=np.float64)
+
+    steady_state = None
+    if nvm_bytes > 0 and makespan_us > 0:
+        steady_state = model.application_latency(
+            app_bytes / makespan_us,  # bytes/µs == MB/s
+            min(1.0, app_bytes / nvm_bytes),
+            queue_depth=store.config.queue_depth,
+        )
+
+    return ServingReport(
+        num_requests=n,
+        num_batches=len(batches),
+        offered_rate_rps=config.arrival_rate_rps,
+        throughput_rps=n / makespan_s if makespan_s > 0 else 0.0,
+        makespan_s=makespan_s,
+        latency=LatencySummary.from_samples(latencies),
+        slo_latency_us=config.slo_latency_us,
+        slo_violations=int(np.count_nonzero(latencies > config.slo_latency_us)),
+        mean_batch_size=float(batch_sizes.mean()) if len(batches) else 0.0,
+        batch_size_hist={
+            int(size): int(count)
+            for size, count in zip(*np.unique(batch_sizes, return_counts=True))
+        },
+        mean_queue_depth=float(depths.mean()) if depths.size else 0.0,
+        max_queue_depth=float(depths.max()) if depths.size else 0.0,
+        queue_depth_hist=depth_histogram(depths),
+        blocks_read=int(blocks_read),
+        device_mbps_mean=float(mbps.mean()) if mbps.size else 0.0,
+        device_mbps_peak=float(mbps.max()) if mbps.size else 0.0,
+        lookups=int(lookups),
+        hit_rate=hits / lookups if lookups else 0.0,
+        steady_state=steady_state,
+    )

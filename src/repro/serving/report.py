@@ -1,0 +1,145 @@
+"""The metrics sink of the serving front-end.
+
+:class:`ServingReport` condenses one serving simulation into the quantities
+the paper argues about: end-to-end request latency percentiles (p50/p95/p99/
+p999), sustained throughput, SLO violations, the batcher's behaviour (batch
+size histogram), and the device-side story (queue-depth histogram, block
+reads, measured throughput).  ``to_dict`` renders everything JSON-ready for
+the benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nvm.latency import LoadedLatency
+
+#: Percentiles reported for request latency.
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Request-latency distribution summary, in microseconds."""
+
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    p999_us: float
+    mean_us: float
+    max_us: float
+
+    @classmethod
+    def from_samples(cls, latencies_us: np.ndarray) -> "LatencySummary":
+        latencies_us = np.asarray(latencies_us, dtype=np.float64)
+        if latencies_us.size == 0:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        p50, p95, p99, p999 = np.percentile(latencies_us, LATENCY_PERCENTILES)
+        return cls(
+            p50_us=float(p50),
+            p95_us=float(p95),
+            p99_us=float(p99),
+            p999_us=float(p999),
+            mean_us=float(latencies_us.mean()),
+            max_us=float(latencies_us.max()),
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "mean_us": self.mean_us,
+            "max_us": self.max_us,
+        }
+
+
+def depth_histogram(depths: np.ndarray) -> Dict[int, int]:
+    """Power-of-two bucketed histogram of queue-depth samples.
+
+    Keys are bucket upper edges (1, 2, 4, ...): depth ``d`` lands in the
+    smallest bucket with ``d <= key``.  Depths span several orders of
+    magnitude once the device saturates, so exact counts would be noise.
+    """
+    depths = np.asarray(depths, dtype=np.float64)
+    if depths.size == 0:
+        return {}
+    exponents = np.ceil(np.log2(np.maximum(depths, 1.0))).astype(np.int64)
+    buckets, counts = np.unique(exponents, return_counts=True)
+    return {int(1 << int(b)): int(c) for b, c in zip(buckets, counts)}
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Everything one serving simulation observed.
+
+    Latency percentiles are over *completed request* latencies (arrival to
+    batch completion, plus the configured per-request overhead); device and
+    cache counters are deltas over the simulated run only.
+    """
+
+    num_requests: int
+    num_batches: int
+    offered_rate_rps: float
+    throughput_rps: float
+    makespan_s: float
+    latency: LatencySummary
+    slo_latency_us: float
+    slo_violations: int
+    mean_batch_size: float
+    batch_size_hist: Dict[int, int] = field(default_factory=dict)
+    mean_queue_depth: float = 0.0
+    max_queue_depth: float = 0.0
+    queue_depth_hist: Dict[int, int] = field(default_factory=dict)
+    blocks_read: int = 0
+    device_mbps_mean: float = 0.0
+    device_mbps_peak: float = 0.0
+    lookups: int = 0
+    hit_rate: float = 0.0
+    #: Closed-form Figure-5 cross-check: the loaded latency the device model
+    #: predicts for this run's average application throughput and measured
+    #: effective bandwidth (``None`` when the run never touched the device).
+    steady_state: Optional[LoadedLatency] = None
+
+    @property
+    def slo_violation_rate(self) -> float:
+        """Fraction of requests that missed the latency SLO."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.slo_violations / self.num_requests
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (used by the benchmark artifacts)."""
+        return {
+            "num_requests": self.num_requests,
+            "num_batches": self.num_batches,
+            "offered_rate_rps": self.offered_rate_rps,
+            "throughput_rps": self.throughput_rps,
+            "makespan_s": self.makespan_s,
+            "latency": self.latency.to_dict(),
+            "slo_latency_us": self.slo_latency_us,
+            "slo_violations": self.slo_violations,
+            "slo_violation_rate": self.slo_violation_rate,
+            "mean_batch_size": self.mean_batch_size,
+            "batch_size_hist": {str(k): v for k, v in self.batch_size_hist.items()},
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "queue_depth_hist": {str(k): v for k, v in self.queue_depth_hist.items()},
+            "blocks_read": self.blocks_read,
+            "device_mbps_mean": self.device_mbps_mean,
+            "device_mbps_peak": self.device_mbps_peak,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "steady_state": (
+                None
+                if self.steady_state is None
+                else {
+                    "mean_us": self.steady_state.mean_us,
+                    "p99_us": self.steady_state.p99_us,
+                }
+            ),
+        }

@@ -8,7 +8,10 @@ for a full :class:`~repro.core.bandana.BandanaStore` (Figures 13–16) — eithe
 table-by-table or interleaved across tables with optional worker-process
 sharding (:mod:`repro.simulation.interleaved`) — and
 :mod:`repro.simulation.report` renders the results as the text tables the
-benchmark harnesses print.
+benchmark harnesses print.  :func:`repro.simulation.simulate_serving`
+(implemented in :mod:`repro.serving`) re-times the same store replay on a
+simulated clock under an open-loop arrival process and reports end-to-end
+latency percentiles instead of raw counters.
 """
 
 from repro.simulation.runner import (
@@ -32,12 +35,16 @@ from repro.simulation.interleaved import (
 )
 from repro.simulation.experiment import ExperimentRecord, ExperimentSweep
 from repro.simulation.report import format_table, format_percent, format_series
+from repro.serving.frontend import simulate_serving
+from repro.serving.report import ServingReport
 
 __all__ = [
     "TableSimulationResult",
     "StoreSimulationResult",
     "simulate_table",
     "simulate_store",
+    "simulate_serving",
+    "ServingReport",
     "unlimited_cache_bandwidth_increase",
     "DEFAULT_CHUNK_REQUESTS",
     "InterleavedStoreReplayer",

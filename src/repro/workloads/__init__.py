@@ -10,7 +10,9 @@ Figures 3–4 (hit-rate curves and access histograms).  This package contains:
 * :mod:`repro.workloads.generator` — a synthetic trace generator that matches
   those statistics (popularity skew, request size, co-access structure),
 * :mod:`repro.workloads.characterization` — the analysis used to regenerate
-  Table 1 and Figure 4 from any trace.
+  Table 1 and Figure 4 from any trace,
+* :mod:`repro.workloads.remap` — the id-densifying shim that lets external
+  traces with sparse 64-bit key universes feed the array-native cache stack.
 """
 
 from repro.workloads.trace import Trace, ModelTrace
@@ -33,6 +35,11 @@ from repro.workloads.characterization import (
     access_histogram,
     compulsory_miss_rate,
 )
+from repro.workloads.remap import (
+    IdRemapper,
+    densify_model_trace,
+    densify_trace,
+)
 
 __all__ = [
     "Trace",
@@ -50,4 +57,7 @@ __all__ = [
     "access_counts",
     "access_histogram",
     "compulsory_miss_rate",
+    "IdRemapper",
+    "densify_model_trace",
+    "densify_trace",
 ]

@@ -48,11 +48,33 @@ class TestLatencyModel:
     def test_invalid_inputs(self):
         model = NVMLatencyModel()
         with pytest.raises(ValueError):
-            model.bandwidth_gbps(0)
+            model.bandwidth_gbps(-1)
+        with pytest.raises(ValueError):
+            model.mean_latency_us(float("nan"))
         with pytest.raises(ValueError):
             model.loaded_latency(-1)
         with pytest.raises(ValueError):
             model.application_latency(100, 0.0)
+
+    def test_queue_depth_below_one_clamps_to_one(self):
+        # An idle closed-loop observer legitimately reports queue depth 0;
+        # the model treats anything in [0, 1) as depth 1.
+        model = NVMLatencyModel()
+        for qd in (0, 0.25):
+            assert model.bandwidth_gbps(qd) == model.bandwidth_gbps(1)
+            assert model.mean_latency_us(qd) == model.mean_latency_us(1)
+            assert model.p99_latency_us(qd) == model.p99_latency_us(1)
+
+    def test_loaded_latency_clamped_and_monotone_through_saturation(self):
+        model = NVMLatencyModel()
+        capacity = model.bandwidth_gbps(8) * 1000
+        ceiling = model.mean_latency_us(8) * model.saturation_ceiling
+        sweep = [model.loaded_latency(u * capacity) for u in
+                 (0.0, 0.5, 0.9, 0.99, 0.9999, 1.0, 2.0)]
+        means = [lat.mean_us for lat in sweep]
+        assert means == sorted(means)
+        assert all(m <= ceiling for m in means)
+        assert means[-1] == means[-2] == ceiling
 
     def test_blocks_per_second(self):
         model = NVMLatencyModel()

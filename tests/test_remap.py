@@ -1,0 +1,110 @@
+"""Tests for the sparse-id densifying shim (repro.workloads.remap)."""
+
+import numpy as np
+import pytest
+
+from repro.caching.engine import replay_table_cache_batched
+from repro.caching.policies import CacheAllBlockPolicy
+from repro.nvm.block import BlockLayout
+from repro.workloads import IdRemapper, densify_model_trace, densify_trace
+from repro.workloads.trace import ModelTrace, Trace
+
+
+def sparse_queries(rng, universe, num_queries=40, max_len=6):
+    return [
+        rng.choice(universe, size=rng.integers(1, max_len + 1), replace=False)
+        for _ in range(num_queries)
+    ]
+
+
+class TestIdRemapper:
+    def test_round_trip_and_rank_order(self):
+        remapper = IdRemapper(np.array([2**62, 7, 10**15, 7, 3]))
+        assert remapper.num_ids == 4
+        # Dense ids are sorted-rank: mapping is order-stable, not order-of-appearance.
+        np.testing.assert_array_equal(remapper.to_dense([3, 7, 10**15, 2**62]), [0, 1, 2, 3])
+        sparse = np.array([10**15, 3, 2**62])
+        np.testing.assert_array_equal(remapper.to_sparse(remapper.to_dense(sparse)), sparse)
+
+    def test_unknown_ids_raise(self):
+        remapper = IdRemapper(np.array([5, 9]))
+        with pytest.raises(KeyError):
+            remapper.to_dense([5, 6])
+        with pytest.raises(KeyError):
+            remapper.to_dense([10**18])  # beyond every observed id
+        with pytest.raises(KeyError):
+            remapper.to_sparse([2])
+
+    def test_stable_across_slices_of_same_universe(self):
+        # Two traces drawn from one universe get compatible mappings as long
+        # as the remapper is built over their union.
+        rng = np.random.default_rng(0)
+        universe = rng.choice(2**60, size=64, replace=False)
+        head = sparse_queries(rng, universe)
+        tail = sparse_queries(rng, universe)
+        remapper = IdRemapper.from_queries(head + tail)
+        joint = IdRemapper.from_queries(tail + head)
+        np.testing.assert_array_equal(remapper.sparse_ids, joint.sparse_ids)
+
+    def test_empty(self):
+        remapper = IdRemapper.from_queries([])
+        assert remapper.num_ids == 0
+        assert remapper.to_dense(np.empty(0, dtype=np.int64)).size == 0
+
+
+class TestDensifyTrace:
+    def test_densified_trace_fits_engine_bound(self):
+        # The point of the shim: sparse 64-bit ids would imply an absurd
+        # dense universe; after remapping the engine's flat arrays are sized
+        # by the number of *distinct* ids.
+        rng = np.random.default_rng(1)
+        universe = rng.choice(2**63 - 1, size=96, replace=False)
+        trace = Trace(sparse_queries(rng, universe, num_queries=100))
+        assert trace.num_vectors > 2**32  # unusable directly
+        dense, remapper = densify_trace(trace)
+        assert dense.num_vectors == remapper.num_ids <= 96
+        layout = BlockLayout.identity(dense.num_vectors, 8)
+        stats = replay_table_cache_batched(
+            dense.queries, layout, CacheAllBlockPolicy(), cache_size=32
+        )
+        assert stats.lookups == trace.num_lookups
+
+    def test_replay_counters_invariant_under_remapping(self):
+        # Remapping renames ids; with a layout renamed the same way the
+        # replay is step-for-step identical.  Compare a dense trace against
+        # a shuffled-rename of itself.
+        rng = np.random.default_rng(2)
+        n = 64
+        perm = rng.permutation(n).astype(np.int64) * 1000 + 17  # sparse rename
+        dense_trace = Trace(
+            [rng.integers(0, n, size=5) for _ in range(80)], num_vectors=n
+        )
+        sparse_trace = Trace([perm[q] for q in dense_trace.queries])
+        redense, remapper = densify_trace(sparse_trace)
+        layout = BlockLayout.identity(n, 8)
+        # Rename the layout's slots with the same bijection the remapper
+        # chose, so physical co-location is preserved.
+        order = remapper.to_dense(perm[layout.order])
+        renamed = BlockLayout(order, vectors_per_block=8)
+        baseline = replay_table_cache_batched(
+            dense_trace.queries, layout, CacheAllBlockPolicy(), cache_size=16
+        )
+        remapped = replay_table_cache_batched(
+            redense.queries, renamed, CacheAllBlockPolicy(), cache_size=16
+        )
+        assert remapped.counters() == baseline.counters()
+
+    def test_densify_model_trace(self):
+        rng = np.random.default_rng(3)
+        universe = rng.choice(2**50, size=40, replace=False)
+        model = ModelTrace(
+            {
+                "a": Trace(sparse_queries(rng, universe, num_queries=20)),
+                "b": Trace(sparse_queries(rng, universe, num_queries=10)),
+            }
+        )
+        dense, remappers = densify_model_trace(model)
+        assert set(dense.tables) == {"a", "b"}
+        for name in dense:
+            assert dense[name].num_vectors == remappers[name].num_ids
+            assert dense[name].num_lookups == model[name].num_lookups
