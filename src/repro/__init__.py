@@ -19,6 +19,13 @@ The most convenient entry points are:
 ``repro.simulation.simulate_table``
     The per-table replay harness used by most of the paper's figures.
 
+``repro.cluster.ClusterStore``
+    The store promoted to a simulated multi-node cluster: consistent-hash
+    sharding, R-way replication, fan-out/fan-in serving, and a
+    fault-injection layer (crashes, slow nodes, lossy links) exercised by
+    ``repro.cluster.run_scenario``.  See the ``repro.cluster`` package
+    docstring for the scenario catalog and example configurations.
+
 See ``DESIGN.md`` for the full module map and the per-experiment index.
 """
 

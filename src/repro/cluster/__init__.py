@@ -1,0 +1,90 @@
+"""Simulated multi-node cluster store with fault injection.
+
+The single-host :class:`~repro.core.bandana.BandanaStore` answers the
+paper's caching and device questions; this package answers the deployment
+one: what does Bandana-style NVM serving look like **across nodes**, and
+what does it cost when nodes fail?
+
+Architecture
+------------
+* :mod:`repro.cluster.ring` — consistent-hash ring with virtual nodes.
+  Each table's dense id space is partitioned at NVM-**block** granularity
+  (``(table, block)`` keys), so prefetch admission stays node-local and a
+  1-node ring reduces exactly to the single store.
+* :mod:`repro.cluster.node` — one simulated node: per-table
+  :class:`~repro.caching.engine.BatchReplayEngine` replicas (independent
+  caches sized to the node's owned share), a FIFO ``busy_until`` clock, and
+  queue-level admission control against per-table SLOs.
+* :mod:`repro.cluster.store` — the router: fan-out/fan-in (request latency
+  is the max over touched shard groups), R-way read-one replication,
+  per-shard timeouts with capped exponential-backoff retries, hedged reads
+  after a running p99 delay, and per-node circuit breakers.
+* :mod:`repro.cluster.faults` — the fault-injection layer: declarative
+  schedules of node crashes (recovering **cold**), slow nodes and degraded
+  links, plus the named scenario catalog.
+* :mod:`repro.cluster.scenario` — the runner: open-loop arrivals through a
+  fault-injected cluster, condensed into a :class:`ClusterReport`.
+
+Failure-scenario catalog
+------------------------
+``make_scenario(name, num_nodes, **overrides)`` instantiates:
+
+========================  ====================================================
+``"none"``                healthy cluster — the baseline row of every sweep
+``"crash_recover"``       one node down for a window, then cold-restarts
+``"slow_node"``           one node serves ``multiplier``× slower (default 20×)
+``"flaky_link"``          one link adds delay and drops attempts
+                          (default +200 µs, 5 % loss)
+``"degraded_cluster"``    compound: a crash, a slow node and a flaky link
+                          at once
+========================  ====================================================
+
+Example
+-------
+>>> from repro.cluster import ClusterStore, make_scenario, run_scenario
+>>> from repro.core import BandanaConfig, ClusterConfig
+>>> config = BandanaConfig(cluster=ClusterConfig(num_nodes=4, replication=2))
+>>> # store = BandanaStore.build(config, trace); trace as in simulate_store
+>>> # report = run_scenario(store, trace, scenario="crash_recover")
+>>> # report.availability, report.latency.p999_us, report.counters.retries
+
+Equivalence anchor
+------------------
+With ``ClusterConfig(num_nodes=1, replication=1)`` and no faults, the
+cluster replays a request stream **bit-identically** to the single-host
+store: one shard group per table, no retries, no hedges, no shedding, the
+same engine state transitions in the same order.
+``tests/test_cluster_equivalence.py`` pins this, golden counters included.
+"""
+
+from repro.cluster.faults import (
+    SCENARIOS,
+    DegradedLink,
+    FaultSchedule,
+    NodeCrash,
+    SlowNode,
+    make_scenario,
+)
+from repro.cluster.node import ClusterNode, ShardServiceResult
+from repro.cluster.ring import ConsistentHashRing, stable_hash64
+from repro.cluster.scenario import ClusterReport, run_scenario, sweep_scenarios
+from repro.cluster.store import ClusterCounters, ClusterStore, RequestOutcome
+
+__all__ = [
+    "SCENARIOS",
+    "ClusterCounters",
+    "ClusterNode",
+    "ClusterReport",
+    "ClusterStore",
+    "ConsistentHashRing",
+    "DegradedLink",
+    "FaultSchedule",
+    "NodeCrash",
+    "RequestOutcome",
+    "ShardServiceResult",
+    "SlowNode",
+    "make_scenario",
+    "run_scenario",
+    "stable_hash64",
+    "sweep_scenarios",
+]

@@ -1,0 +1,285 @@
+"""Fault injection: scheduled node and link failures for the cluster store.
+
+A :class:`FaultSchedule` is a declarative list of fault events, each active
+over a window of simulated time:
+
+* :class:`NodeCrash` — the node is unreachable; attempts against it burn the
+  shard timeout.  On recovery the node restarts **cold**: its DRAM caches
+  and policy state are gone (the router's retries keep requests alive, but
+  the post-recovery miss surge is real and visible in the tail).
+* :class:`SlowNode` — the node serves, but every service time is multiplied
+  by ``multiplier`` (degraded device, CPU contention, noisy neighbour).
+  Persistently slow nodes are what the circuit breaker ejects.
+* :class:`DegradedLink` — the router↔node link adds ``extra_delay_us`` each
+  way and drops each attempt with probability ``loss_prob`` (the dropped
+  attempt burns the shard timeout and is retried with backoff).
+
+Loss draws come from an explicit :class:`numpy.random.Generator` owned by
+the cluster store (seeded from ``ClusterConfig.seed``), so a scenario run is
+a pure function of (trace, configs, schedule, seed) — the property the chaos
+tests pin.
+
+The module also ships a small **scenario catalog**
+(:data:`SCENARIOS` / :func:`make_scenario`): named, parameterised schedules
+(``"none"``, ``"crash_recover"``, ``"slow_node"``, ``"flaky_link"``,
+``"degraded_cluster"``) used by the chaos test-suite and by
+``benchmarks/bench_cluster_failures.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.utils.validation import (
+    check_int_at_least,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+def _check_window(start_s: float, end_s: float) -> None:
+    check_non_negative(start_s, "start_s")
+    if end_s <= start_s:
+        raise ValueError(f"end_s must be > start_s, got [{start_s}, {end_s}]")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` is down (unreachable) during ``[start_s, end_s)``."""
+
+    node: int
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        check_int_at_least(self.node, 0, "node")
+        _check_window(self.start_s, self.end_s)
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """Node ``node`` serves ``multiplier``× slower during ``[start_s, end_s)``."""
+
+    node: int
+    start_s: float
+    end_s: float
+    multiplier: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_int_at_least(self.node, 0, "node")
+        _check_window(self.start_s, self.end_s)
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1 (a fault cannot speed a node up), "
+                f"got {self.multiplier!r}"
+            )
+
+
+@dataclass(frozen=True)
+class DegradedLink:
+    """The router↔``node`` link degrades during ``[start_s, end_s)``.
+
+    ``extra_delay_us`` is added to each direction of every attempt;
+    ``loss_prob`` is the per-attempt probability the attempt is lost in
+    flight (burning the shard timeout and forcing a retry).
+    """
+
+    node: int
+    start_s: float
+    end_s: float
+    extra_delay_us: float = 0.0
+    loss_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_int_at_least(self.node, 0, "node")
+        _check_window(self.start_s, self.end_s)
+        check_non_negative(self.extra_delay_us, "extra_delay_us")
+        check_probability(self.loss_prob, "loss_prob")
+
+
+FaultEvent = object  # union of the three event dataclasses above
+
+
+class FaultSchedule:
+    """A queryable schedule of fault events over simulated time.
+
+    All queries take the current simulated time in **microseconds** (the
+    cluster's clock unit); event windows are declared in seconds, the unit
+    scenario authors think in.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        events = tuple(events)
+        for event in events:
+            if not isinstance(event, (NodeCrash, SlowNode, DegradedLink)):
+                raise TypeError(
+                    "fault events must be NodeCrash, SlowNode or DegradedLink, "
+                    f"got {type(event).__name__}"
+                )
+        self.events = events
+        self._crashes: List[NodeCrash] = [
+            e for e in events if isinstance(e, NodeCrash)
+        ]
+        self._slowdowns: List[SlowNode] = [
+            e for e in events if isinstance(e, SlowNode)
+        ]
+        self._links: List[DegradedLink] = [
+            e for e in events if isinstance(e, DegradedLink)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ---------------------------------------------------------------- queries
+    def is_down(self, node: int, now_us: float) -> bool:
+        """Whether ``node`` is crashed at simulated time ``now_us``."""
+        now_s = now_us / 1e6
+        return any(
+            e.node == node and e.start_s <= now_s < e.end_s for e in self._crashes
+        )
+
+    def latency_multiplier(self, node: int, now_us: float) -> float:
+        """Service-time multiplier on ``node`` (product of active slowdowns)."""
+        now_s = now_us / 1e6
+        multiplier = 1.0
+        for e in self._slowdowns:
+            if e.node == node and e.start_s <= now_s < e.end_s:
+                multiplier *= e.multiplier
+        return multiplier
+
+    def link(self, node: int, now_us: float) -> Tuple[float, float]:
+        """Active ``(extra_delay_us, loss_prob)`` of the router↔node link.
+
+        Delays of overlapping events add; losses combine as independent
+        drops (``1 - Π(1 - p)``).
+        """
+        now_s = now_us / 1e6
+        delay = 0.0
+        survive = 1.0
+        for e in self._links:
+            if e.node == node and e.start_s <= now_s < e.end_s:
+                delay += e.extra_delay_us
+                survive *= 1.0 - e.loss_prob
+        return delay, 1.0 - survive
+
+    def crash_recovered_between(
+        self, node: int, since_us: float, now_us: float
+    ) -> bool:
+        """Whether ``node`` finished a crash window in ``(since_us, now_us]``.
+
+        The cluster uses this to cold-restart a node's caches the first time
+        it is touched after recovering.
+        """
+        since_s, now_s = since_us / 1e6, now_us / 1e6
+        return any(
+            e.node == node and since_s < e.end_s <= now_s for e in self._crashes
+        )
+
+
+# ------------------------------------------------------------------- catalog
+def _scenario_none(num_nodes: int, **_: float) -> FaultSchedule:
+    return FaultSchedule(())
+
+
+def _scenario_crash_recover(
+    num_nodes: int,
+    start_s: float = 0.2,
+    duration_s: float = 0.4,
+    node: int = 0,
+    **_: float,
+) -> FaultSchedule:
+    return FaultSchedule([NodeCrash(node=node, start_s=start_s, end_s=start_s + duration_s)])
+
+
+def _scenario_slow_node(
+    num_nodes: int,
+    start_s: float = 0.2,
+    duration_s: float = 0.6,
+    node: int = 0,
+    multiplier: float = 20.0,
+    **_: float,
+) -> FaultSchedule:
+    return FaultSchedule(
+        [SlowNode(node=node, start_s=start_s, end_s=start_s + duration_s, multiplier=multiplier)]
+    )
+
+
+def _scenario_flaky_link(
+    num_nodes: int,
+    start_s: float = 0.2,
+    duration_s: float = 0.6,
+    node: int = 0,
+    extra_delay_us: float = 200.0,
+    loss_prob: float = 0.05,
+    **_: float,
+) -> FaultSchedule:
+    return FaultSchedule(
+        [
+            DegradedLink(
+                node=node,
+                start_s=start_s,
+                end_s=start_s + duration_s,
+                extra_delay_us=extra_delay_us,
+                loss_prob=loss_prob,
+            )
+        ]
+    )
+
+
+def _scenario_degraded_cluster(
+    num_nodes: int,
+    start_s: float = 0.2,
+    duration_s: float = 0.6,
+    multiplier: float = 8.0,
+    extra_delay_us: float = 100.0,
+    loss_prob: float = 0.02,
+    **_: float,
+) -> FaultSchedule:
+    """The compound scenario: one node crashes, one slows, one link degrades."""
+    check_int_at_least(num_nodes, 1, "num_nodes")
+    end_s = start_s + duration_s
+    events: List[FaultEvent] = [NodeCrash(node=0, start_s=start_s, end_s=end_s)]
+    if num_nodes > 1:
+        events.append(
+            SlowNode(node=1 % num_nodes, start_s=start_s, end_s=end_s, multiplier=multiplier)
+        )
+    if num_nodes > 2:
+        events.append(
+            DegradedLink(
+                node=2 % num_nodes,
+                start_s=start_s,
+                end_s=end_s,
+                extra_delay_us=extra_delay_us,
+                loss_prob=loss_prob,
+            )
+        )
+    return FaultSchedule(events)
+
+
+#: The named scenario catalog: name -> factory(num_nodes, **overrides).
+SCENARIOS: Dict[str, Callable[..., FaultSchedule]] = {
+    "none": _scenario_none,
+    "crash_recover": _scenario_crash_recover,
+    "slow_node": _scenario_slow_node,
+    "flaky_link": _scenario_flaky_link,
+    "degraded_cluster": _scenario_degraded_cluster,
+}
+
+
+def make_scenario(name: str, num_nodes: int, **overrides) -> FaultSchedule:
+    """Instantiate a named scenario from the catalog.
+
+    ``overrides`` tune the scenario's knobs (window, target node, severity);
+    unknown keys are ignored by scenarios that do not use them, so one sweep
+    loop can drive every scenario with a common parameter set.
+    """
+    check_positive(num_nodes, "num_nodes")
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; catalog: {sorted(SCENARIOS)}"
+        ) from None
+    return factory(num_nodes, **overrides)

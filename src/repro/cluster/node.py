@@ -1,0 +1,154 @@
+"""One simulated store node: shard engines, a FIFO clock, admission control.
+
+A :class:`ClusterNode` owns the *node half* of the spec/state split
+(:mod:`repro.core.tablespec`): for every table it serves, a
+:class:`~repro.caching.engine.BatchReplayEngine` with its own DRAM cache
+(sized to the node's owned share of the table's budget), its own policy
+instance and its own :class:`~repro.nvm.device.NVMDevice`.  Replica caches
+are fully independent — each replica's cache contents reflect exactly the
+traffic *that replica* served, so retries and hedges landing on a secondary
+warm the secondary, not the primary.
+
+Time is simulated: the node is one FIFO resource with a ``busy_until_us``
+clock.  A shard read arriving at ``t`` waits out the backlog, then runs for
+``(overhead + NVM read time) × slow-multiplier``.  **Admission control** is
+queue-level: when the backlog a new read would have to wait behind exceeds
+``admission_queue_slack ×`` the table's SLO, the node sheds the read
+immediately (a fast rejection the router can retry on another replica)
+instead of queueing it unboundedly — overload degrades, it does not melt.
+
+A crashed node loses its DRAM on recovery: :meth:`ClusterNode.cold_restart`
+rebuilds every engine cold (fresh cache, fresh policy state, zeroed backlog)
+while keeping the cumulative :class:`~repro.caching.replay.ReplayStats`
+objects, so availability accounting spans the crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.caching.engine import BatchReplayEngine
+from repro.core.tablespec import TableServingSpec
+
+
+@dataclass(frozen=True)
+class ShardServiceResult:
+    """What one executed shard read cost on the node."""
+
+    queue_wait_us: float
+    service_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.queue_wait_us + self.service_us
+
+
+class ClusterNode:
+    """One simulated store node (see module docstring).
+
+    Parameters
+    ----------
+    index:
+        The node's cluster index.
+    specs:
+        Serving specs of the tables this node holds shards of.
+    owned_blocks:
+        Per-table count of blocks this node serves (over all replica slots
+        it occupies); sizes the node's share of each table's cache budget.
+    node_overhead_us:
+        Fixed service overhead per shard read.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        specs: Mapping[str, TableServingSpec],
+        owned_blocks: Mapping[str, int],
+        node_overhead_us: float = 5.0,
+    ):
+        self.index = index
+        self.node_overhead_us = float(node_overhead_us)
+        self._specs: Dict[str, TableServingSpec] = {}
+        self._cache_sizes: Dict[str, int] = {}
+        self.engines: Dict[str, BatchReplayEngine] = {}
+        for name, spec in specs.items():
+            owned = int(owned_blocks.get(name, 0))
+            if owned <= 0:
+                continue
+            self._specs[name] = spec
+            self._cache_sizes[name] = spec.scaled_cache_size(owned)
+            self.engines[name] = spec.make_engine(
+                cache_size_vectors=self._cache_sizes[name]
+            )
+        self.busy_until_us = 0.0
+        self.cold_restarts = 0
+        #: Simulated time up to which crash-recovery has been checked.
+        self.last_seen_us = 0.0
+
+    # ----------------------------------------------------------------- timing
+    def queue_wait_us(self, at_us: float) -> float:
+        """Backlog a read arriving at ``at_us`` would wait behind."""
+        return max(0.0, self.busy_until_us - at_us)
+
+    # ---------------------------------------------------------------- serving
+    def serve(
+        self,
+        table_name: str,
+        ids: np.ndarray,
+        arrive_us: float,
+        multiplier: float = 1.0,
+    ) -> ShardServiceResult:
+        """Execute one shard read arriving at ``arrive_us``.
+
+        Replays the ids through the table's engine (updating cache, policy,
+        device and stats exactly as single-store serving would), charges the
+        resulting NVM read time plus the node overhead — stretched by the
+        active slow-node ``multiplier`` — behind the node's FIFO backlog,
+        and advances the clock.
+        """
+        engine = self.engines[table_name]
+        latency_before = engine.stats.total_latency_us
+        engine.replay_query(ids)
+        device_us = engine.stats.total_latency_us - latency_before
+        service_us = (self.node_overhead_us + device_us) * float(multiplier)
+        start_us = max(self.busy_until_us, arrive_us)
+        queue_wait = start_us - arrive_us
+        self.busy_until_us = start_us + service_us
+        return ShardServiceResult(queue_wait_us=queue_wait, service_us=service_us)
+
+    def serves_table(self, table_name: str) -> bool:
+        """Whether this node owns any shard of ``table_name``."""
+        return table_name in self.engines
+
+    # --------------------------------------------------------------- recovery
+    def cold_restart(self, now_us: float) -> None:
+        """Restart after a crash: cold caches, fresh policies, empty backlog.
+
+        The cumulative stats objects are kept (availability and hit-rate
+        accounting span the crash); everything else — cache contents,
+        pending-prefetch state, policy state, queued work — is lost, exactly
+        what a process restart costs.
+        """
+        for name, spec in self._specs.items():
+            self.engines[name] = spec.make_engine(
+                cache_size_vectors=self._cache_sizes[name],
+                stats=self.engines[name].stats,
+            )
+        self.busy_until_us = now_us
+        self.cold_restarts += 1
+
+    # ---------------------------------------------------------------- metrics
+    def blocks_read(self) -> int:
+        """NVM blocks read by this node so far (its share of cluster load)."""
+        return sum(
+            engine.device.blocks_read
+            for engine in self.engines.values()
+            if engine.device is not None
+        )
+
+    def cache_sizes(self) -> Dict[str, int]:
+        """The node's per-table cache budgets (vectors)."""
+        return dict(self._cache_sizes)

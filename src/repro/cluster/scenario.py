@@ -1,0 +1,207 @@
+"""Fault-scenario runner: one request stream, one schedule, one report.
+
+:func:`run_scenario` is the cluster-side sibling of
+:func:`repro.serving.simulate_serving`: it replays a model trace through a
+:class:`~repro.cluster.store.ClusterStore` under an open-loop arrival
+process while a :class:`~repro.cluster.faults.FaultSchedule` degrades the
+cluster, and condenses what happened into a :class:`ClusterReport` —
+end-to-end latency percentiles (fan-in makes stragglers land in p999),
+availability (fraction of requests with every shard group served), and the
+full robustness counter set (retries, timeouts, sheds, hedges, breaker
+ejections, cold restarts).
+
+:func:`sweep_scenarios` runs the catalog back-to-back on fresh clusters, the
+shape of ``benchmarks/bench_cluster_failures.py``: the ``"none"`` row is the
+healthy baseline, every other row prices one failure mode in p999 and
+availability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cluster.faults import SCENARIOS, FaultSchedule, make_scenario
+from repro.cluster.store import ClusterCounters, ClusterStore
+from repro.core.bandana import BandanaStore
+from repro.core.config import ClusterConfig, ServingConfig
+from repro.serving.arrivals import arrival_times
+from repro.serving.report import LatencySummary
+from repro.simulation.interleaved import iter_store_requests
+from repro.workloads.trace import ModelTrace
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Everything one fault-scenario run observed."""
+
+    scenario: str
+    num_requests: int
+    num_nodes: int
+    replication: int
+    offered_rate_rps: float
+    makespan_s: float
+    throughput_rps: float
+    latency: LatencySummary
+    slo_latency_us: float
+    slo_violations: int
+    availability: float
+    counters: ClusterCounters
+    lookups: int
+    hit_rate: float
+    blocks_read: int
+    node_blocks_read: List[int]
+
+    @property
+    def slo_violation_rate(self) -> float:
+        if self.num_requests == 0:
+            return 0.0
+        return self.slo_violations / self.num_requests
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (used by the benchmark artifacts)."""
+        return {
+            "scenario": self.scenario,
+            "num_requests": self.num_requests,
+            "num_nodes": self.num_nodes,
+            "replication": self.replication,
+            "offered_rate_rps": self.offered_rate_rps,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency.to_dict(),
+            "slo_latency_us": self.slo_latency_us,
+            "slo_violations": self.slo_violations,
+            "slo_violation_rate": self.slo_violation_rate,
+            "availability": self.availability,
+            "counters": self.counters.as_dict(),
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+            "blocks_read": self.blocks_read,
+            "node_blocks_read": list(self.node_blocks_read),
+        }
+
+
+def run_scenario(
+    store: BandanaStore,
+    eval_trace: ModelTrace,
+    scenario: Union[str, FaultSchedule] = "none",
+    cluster_config: Optional[ClusterConfig] = None,
+    serving_config: Optional[ServingConfig] = None,
+    num_requests: Optional[int] = None,
+    scenario_overrides: Optional[Mapping[str, float]] = None,
+    warmup_requests: int = 0,
+) -> ClusterReport:
+    """Replay a trace through a fresh fault-injected cluster (see module doc).
+
+    Parameters
+    ----------
+    store:
+        A built single-host store; its resolved placement, policies and
+        cache budgets define the cluster's tables
+        (:meth:`~repro.cluster.store.ClusterStore.from_store`).
+    eval_trace:
+        Per-table queries, zipped into multi-table requests exactly like the
+        single-host replay and serving paths.
+    scenario:
+        A catalog name (:data:`~repro.cluster.faults.SCENARIOS`) or an
+        explicit :class:`~repro.cluster.faults.FaultSchedule`.
+    cluster_config:
+        Topology/robustness knobs; defaults to ``store.config.cluster``.
+    serving_config:
+        Arrival process and SLO; defaults to ``store.config.serving``.
+    num_requests:
+        Optional cap on the request stream.
+    scenario_overrides:
+        Extra knobs forwarded to the scenario factory (window, target node,
+        severity); ignored for explicit schedules.
+    warmup_requests:
+        Requests replayed sequentially (and excluded from every reported
+        number) before the measured run, after which the cluster's clocks
+        rebase to zero with warm caches — without this the cold-start miss
+        surge dominates every percentile and masks the fault's tail cost.
+    """
+    cluster_config = cluster_config or store.config.cluster
+    serving_config = serving_config or store.config.serving
+    if isinstance(scenario, FaultSchedule):
+        faults, scenario_name = scenario, "custom"
+    else:
+        faults = make_scenario(
+            scenario, cluster_config.num_nodes, **dict(scenario_overrides or {})
+        )
+        scenario_name = scenario
+    cluster = ClusterStore.from_store(store, config=cluster_config, faults=faults)
+
+    stream = list(iter_store_requests(eval_trace))
+    warmup = int(warmup_requests)
+    requests = stream[warmup:]
+    if num_requests is not None:
+        requests = requests[: int(num_requests)]
+    n = len(requests)
+    seed = store.config.seed if serving_config.seed is None else serving_config.seed
+    arrival_us = arrival_times(serving_config, n, seed=seed) * 1e6
+
+    if warmup:
+        for request in stream[:warmup]:
+            cluster.serve_request(request)
+        cluster.rebase_clocks()
+    stats_before = cluster.aggregate_stats()
+    node_blocks_before = cluster.node_blocks_read()
+
+    latencies = np.empty(n, dtype=np.float64)
+    last_completion_us = 0.0
+    for i, request in enumerate(requests):
+        outcome = cluster.serve_request(request, now_us=float(arrival_us[i]))
+        latencies[i] = outcome.latency_us
+        last_completion_us = max(last_completion_us, outcome.completion_us)
+
+    stats = cluster.aggregate_stats()
+    makespan_us = last_completion_us - (float(arrival_us[0]) if n else 0.0)
+    makespan_s = makespan_us / 1e6
+    return ClusterReport(
+        scenario=scenario_name,
+        num_requests=n,
+        num_nodes=cluster_config.num_nodes,
+        replication=cluster.replication,
+        offered_rate_rps=serving_config.arrival_rate_rps,
+        makespan_s=makespan_s,
+        throughput_rps=n / makespan_s if makespan_s > 0 else 0.0,
+        latency=LatencySummary.from_samples(latencies),
+        slo_latency_us=serving_config.slo_latency_us,
+        slo_violations=int(
+            np.count_nonzero(latencies > serving_config.slo_latency_us)
+        ),
+        availability=cluster.counters.availability,
+        counters=cluster.counters,
+        lookups=stats.lookups - stats_before.lookups,
+        hit_rate=(
+            (stats.hits - stats_before.hits) / (stats.lookups - stats_before.lookups)
+            if stats.lookups > stats_before.lookups
+            else 0.0
+        ),
+        blocks_read=stats.misses - stats_before.misses,
+        node_blocks_read=[
+            after - before
+            for after, before in zip(cluster.node_blocks_read(), node_blocks_before)
+        ],
+    )
+
+
+def sweep_scenarios(
+    store: BandanaStore,
+    eval_trace: ModelTrace,
+    scenarios: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> Dict[str, ClusterReport]:
+    """Run the scenario catalog back-to-back, one fresh cluster per scenario.
+
+    ``scenarios`` defaults to the whole catalog in declaration order
+    (``"none"`` first, so every later row reads against the healthy
+    baseline); ``kwargs`` are forwarded to :func:`run_scenario`.
+    """
+    names: Iterable[str] = scenarios if scenarios is not None else list(SCENARIOS)
+    return {
+        name: run_scenario(store, eval_trace, scenario=name, **kwargs)
+        for name in names
+    }

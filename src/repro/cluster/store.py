@@ -1,0 +1,547 @@
+"""The cluster store: consistent-hash routing with failure-survival machinery.
+
+:class:`ClusterStore` serves multi-table requests against a fleet of
+simulated :class:`~repro.cluster.node.ClusterNode` instances.  Each request
+is split into **shard groups** — maximal runs of ids sharing one replica set
+on the ring — fanned out, and fanned back in: the request completes when its
+slowest shard group does (latency is the max over touched shards), which is
+what makes fan-in stragglers visible at p999.
+
+Robustness machinery, in the order an attempt meets it:
+
+1. **Circuit breaker** (per node): after ``breaker_failure_threshold``
+   consecutive failures or slow responses the node is ejected — the router
+   skips it without paying a timeout — until ``breaker_cooloff_s`` passes
+   and a half-open probe succeeds.  The breaker never ejects the *only*
+   available replica: with ``R = 1`` (or every replica open) the attempt is
+   force-allowed, so conservative breakers degrade latency, not
+   availability.
+2. **Crash / loss timeouts with capped exponential backoff**: an attempt
+   against a crashed node, or one lost on a degraded link, burns
+   ``shard_timeout_us``; the retry targets the *next replica* after a
+   backoff that doubles per attempt up to ``retry_backoff_cap_us``.
+3. **Admission control**: an overloaded node sheds the read instantly
+   (queue-level load shedding against the table's SLO — see
+   :mod:`repro.cluster.node`) and the router retries another replica.
+4. **Hedged reads**: when a first attempt's latency exceeds the running
+   p99-based hedge delay, a duplicate read is fired at another replica and
+   the earlier completion wins.  Hedges do real work — they warm the
+   secondary's cache — exactly like production hedging.
+
+A request whose shard group exhausts ``max_attempts`` is **degraded**, not
+crashed: it completes with partial features and is counted against
+availability.  The hard equivalence anchor: with one node, ``R = 1`` and no
+faults, every request is one unhedged, unretried engine replay in arrival
+order — bit-identical counters to :class:`~repro.core.bandana.BandanaStore`
+(pinned in ``tests/test_cluster_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.caching.replay import ReplayStats
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.node import ClusterNode
+from repro.cluster.ring import ConsistentHashRing
+from repro.core.config import ClusterConfig
+from repro.core.tablespec import TableServingSpec
+from repro.utils.rng import ensure_rng
+
+#: Size of the trailing shard-latency window behind the hedge-delay estimate.
+_HEDGE_WINDOW = 512
+#: How often (in samples) the hedge-delay quantile is recomputed.
+_HEDGE_REFRESH = 32
+
+
+@dataclass
+class ClusterCounters:
+    """Cumulative robustness accounting of one cluster store."""
+
+    requests_total: int = 0
+    requests_ok: int = 0
+    requests_degraded: int = 0
+    shard_groups: int = 0
+    shard_groups_failed: int = 0
+    shard_attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    link_losses: int = 0
+    sheds: int = 0
+    hedges_launched: int = 0
+    hedges_won: int = 0
+    breaker_skips: int = 0
+    breaker_ejections: int = 0
+    cold_restarts: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests fully served (no degraded shard groups)."""
+        if self.requests_total == 0:
+            return 1.0
+        return self.requests_ok / self.requests_total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "requests_total": self.requests_total,
+            "requests_ok": self.requests_ok,
+            "requests_degraded": self.requests_degraded,
+            "availability": self.availability,
+            "shard_groups": self.shard_groups,
+            "shard_groups_failed": self.shard_groups_failed,
+            "shard_attempts": self.shard_attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "link_losses": self.link_losses,
+            "sheds": self.sheds,
+            "hedges_launched": self.hedges_launched,
+            "hedges_won": self.hedges_won,
+            "breaker_skips": self.breaker_skips,
+            "breaker_ejections": self.breaker_ejections,
+            "cold_restarts": self.cold_restarts,
+        }
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Fan-in result of one multi-table request."""
+
+    arrival_us: float
+    completion_us: float
+    shard_groups: int
+    failed_groups: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether every shard group was served (no degraded features)."""
+        return self.failed_groups == 0
+
+    @property
+    def latency_us(self) -> float:
+        return self.completion_us - self.arrival_us
+
+
+class _CircuitBreaker:
+    """Consecutive-strike breaker for one node (see module docstring)."""
+
+    def __init__(self, failure_threshold: int, cooloff_us: float):
+        self.failure_threshold = int(failure_threshold)
+        self.cooloff_us = float(cooloff_us)
+        self.strikes = 0
+        self.open_until_us = 0.0
+        self.ejections = 0
+
+    def allows(self, now_us: float) -> bool:
+        """Closed, or open long enough that a half-open probe is due."""
+        return now_us >= self.open_until_us
+
+    def strike(self, now_us: float) -> bool:
+        """Record a failure/slow response; returns True if the breaker opened."""
+        self.strikes += 1
+        if self.strikes >= self.failure_threshold:
+            self.open_until_us = now_us + self.cooloff_us
+            self.strikes = 0
+            self.ejections += 1
+            return True
+        return False
+
+    def succeed(self) -> None:
+        self.strikes = 0
+
+
+class ClusterStore:
+    """A simulated multi-node, replicated embedding store (see module docstring).
+
+    Parameters
+    ----------
+    specs:
+        Per-table serving specs (from
+        :meth:`~repro.core.bandana.BandanaStore.table_specs` or built
+        directly).
+    config:
+        Topology and robustness knobs.
+    faults:
+        Optional fault schedule; ``None`` means a healthy cluster.
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, TableServingSpec],
+        config: Optional[ClusterConfig] = None,
+        faults: Optional[FaultSchedule] = None,
+    ):
+        if not specs:
+            raise ValueError("the cluster needs at least one table spec")
+        self.specs = dict(specs)
+        self.config = config or ClusterConfig()
+        self.faults = faults or FaultSchedule(())
+        self.ring = ConsistentHashRing(
+            [f"node{i}" for i in range(self.config.num_nodes)],
+            virtual_nodes=self.config.virtual_nodes,
+        )
+        #: Effective replication (``R`` clamped to the cluster size).
+        self.replication = min(self.config.replication, self.config.num_nodes)
+        # Block-ownership tables: name -> (num_blocks, R) node-index array.
+        self._owners: Dict[str, np.ndarray] = {
+            name: self.ring.block_owners(
+                name, spec.layout.num_blocks, self.replication
+            )
+            for name, spec in self.specs.items()
+        }
+        self._build_serving_state()
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        config: Optional[ClusterConfig] = None,
+        faults: Optional[FaultSchedule] = None,
+    ) -> "ClusterStore":
+        """Build a cluster serving the same tables as a single-host store.
+
+        ``store`` is a :class:`~repro.core.bandana.BandanaStore`; its
+        resolved placement, policies and cache budgets become the cluster's
+        table specs, and ``config`` defaults to ``store.config.cluster``.
+        """
+        return cls(
+            store.table_specs(),
+            config=config if config is not None else store.config.cluster,
+            faults=faults,
+        )
+
+    def _build_serving_state(self) -> None:
+        owned: Dict[int, Dict[str, int]] = {
+            i: {} for i in range(self.config.num_nodes)
+        }
+        for name, owners in self._owners.items():
+            counts = np.bincount(owners.ravel(), minlength=self.config.num_nodes)
+            for node, count in enumerate(counts):
+                if count:
+                    owned[node][name] = int(count)
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(
+                index=i,
+                specs={name: self.specs[name] for name in owned[i]},
+                owned_blocks=owned[i],
+                node_overhead_us=self.config.node_overhead_us,
+            )
+            for i in range(self.config.num_nodes)
+        ]
+        self._breakers = [
+            _CircuitBreaker(
+                self.config.breaker_failure_threshold,
+                self.config.breaker_cooloff_s * 1e6,
+            )
+            for _ in range(self.config.num_nodes)
+        ]
+        self.counters = ClusterCounters()
+        self._clock_us = 0.0
+        self._rng = ensure_rng(self.config.seed)
+        self._latency_window: List[float] = []
+        self._hedge_delay_us = self.config.hedge_min_us
+        self._samples_since_refresh = 0
+
+    def reset_serving_state(self) -> None:
+        """Cold caches, zeroed counters and clocks, reseeded loss draws."""
+        self._build_serving_state()
+
+    def rebase_clocks(self) -> None:
+        """Zero all simulated clocks and counters, keeping caches warm.
+
+        Scenario runs warm the cluster with a sequential prefix replay, then
+        rebase so the measured open-loop run starts at ``t = 0`` with warm
+        caches but no phantom backlog from the warm-up — the cold-start miss
+        surge would otherwise dominate every percentile.  Engine stats are
+        cumulative across the rebase; callers measure deltas.
+        """
+        self._clock_us = 0.0
+        for node in self.nodes:
+            node.busy_until_us = 0.0
+            node.last_seen_us = 0.0
+        # Breaker open-until timestamps and hedge-delay samples live in the
+        # pre-rebase clock domain; carrying them across would leave a node
+        # spuriously ejected (or a stale hedge delay) at measured t=0.
+        for breaker in self._breakers:
+            breaker.strikes = 0
+            breaker.open_until_us = 0.0
+        self._latency_window.clear()
+        self._samples_since_refresh = 0
+        self._hedge_delay_us = self.config.hedge_min_us
+        self.counters = ClusterCounters()
+
+    # ---------------------------------------------------------------- serving
+    def serve_request(
+        self,
+        request: Mapping[str, Iterable[int]],
+        now_us: Optional[float] = None,
+    ) -> RequestOutcome:
+        """Serve one multi-table request arriving at ``now_us``.
+
+        ``now_us=None`` is sequential-replay mode: the request is issued the
+        moment the previous one completed (queues are empty, nothing sheds),
+        which is the schedule equivalence tests compare against single-store
+        replay.  Open-loop callers pass real arrival timestamps, making
+        node backlog — and therefore admission control — real.
+        """
+        arrival_us = self._clock_us if now_us is None else float(now_us)
+        groups = self._route(request)
+        completion_us = arrival_us
+        failed = 0
+        for table_name, replicas, ids in groups:
+            ok, group_completion = self._serve_shard_group(
+                table_name, replicas, ids, arrival_us
+            )
+            completion_us = max(completion_us, group_completion)
+            if not ok:
+                failed += 1
+        completion_us += self.config.request_overhead_us
+        self.counters.requests_total += 1
+        self.counters.shard_groups += len(groups)
+        self.counters.shard_groups_failed += failed
+        if failed:
+            self.counters.requests_degraded += 1
+        else:
+            self.counters.requests_ok += 1
+        self._clock_us = max(self._clock_us, completion_us)
+        return RequestOutcome(
+            arrival_us=arrival_us,
+            completion_us=completion_us,
+            shard_groups=len(groups),
+            failed_groups=failed,
+        )
+
+    def replay_requests(self, requests: Iterable[Mapping[str, Iterable[int]]]) -> None:
+        """Replay a request stream back-to-back (sequential mode)."""
+        for request in requests:
+            self.serve_request(request)
+
+    # ---------------------------------------------------------------- routing
+    def _route(
+        self, request: Mapping[str, Iterable[int]]
+    ) -> List[Tuple[str, Tuple[int, ...], np.ndarray]]:
+        """Split a request into (table, replica-set, ids) shard groups.
+
+        Ids sharing a replica set stay in one group **in request order**, so
+        the per-engine replay order matches single-store serving exactly.
+        """
+        groups: List[Tuple[str, Tuple[int, ...], np.ndarray]] = []
+        for table_name, raw_ids in request.items():
+            spec = self._spec(table_name)
+            ids = np.asarray(raw_ids, dtype=np.int64)
+            if ids.size == 0:
+                continue
+            owners = self._owners[table_name]
+            if len(self.nodes) == 1:
+                groups.append((table_name, (0,) * owners.shape[1], ids))
+                continue
+            rows = owners[spec.layout.block_of(ids)]
+            unique_rows, inverse = np.unique(rows, axis=0, return_inverse=True)
+            for g in range(unique_rows.shape[0]):
+                groups.append(
+                    (
+                        table_name,
+                        tuple(int(n) for n in unique_rows[g]),
+                        ids[inverse == g],
+                    )
+                )
+        return groups
+
+    def _spec(self, table_name: str) -> TableServingSpec:
+        try:
+            return self.specs[table_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown table {table_name!r}; known tables: {sorted(self.specs)}"
+            ) from None
+
+    # ------------------------------------------------------------ shard serve
+    def _serve_shard_group(
+        self,
+        table_name: str,
+        replicas: Sequence[int],
+        ids: np.ndarray,
+        t0_us: float,
+    ) -> Tuple[bool, float]:
+        """Serve one shard group with retries/hedging; see module docstring."""
+        config = self.config
+        counters = self.counters
+        num_replicas = len(replicas)
+        backoff_us = config.retry_backoff_us
+        t = t0_us
+        consecutive_skips = 0
+        attempts_made = 0
+        for attempt in range(config.max_attempts):
+            node_index = replicas[attempt % num_replicas]
+            node = self.nodes[node_index]
+            breaker = self._breakers[node_index]
+            # The breaker never ejects the only viable replica: with R = 1,
+            # or after a full cycle of open breakers, force the attempt.
+            force = num_replicas == 1 or consecutive_skips >= num_replicas
+            if not force and not breaker.allows(t):
+                counters.breaker_skips += 1
+                consecutive_skips += 1
+                continue
+            consecutive_skips = 0
+            if attempts_made:
+                counters.retries += 1
+            attempts_made += 1
+            counters.shard_attempts += 1
+            self._maybe_recover(node, t)
+            if self.faults.is_down(node_index, t):
+                counters.timeouts += 1
+                if breaker.strike(t + config.shard_timeout_us):
+                    counters.breaker_ejections += 1
+                t += config.shard_timeout_us + backoff_us
+                backoff_us = min(2.0 * backoff_us, config.retry_backoff_cap_us)
+                continue
+            extra_delay_us, loss_prob = self.faults.link(node_index, t)
+            link_delay_us = config.link_delay_us + extra_delay_us
+            if loss_prob > 0.0 and self._rng.random() < loss_prob:
+                counters.link_losses += 1
+                counters.timeouts += 1
+                if breaker.strike(t + config.shard_timeout_us):
+                    counters.breaker_ejections += 1
+                t += config.shard_timeout_us + backoff_us
+                backoff_us = min(2.0 * backoff_us, config.retry_backoff_cap_us)
+                continue
+            arrive_us = t + link_delay_us
+            wait_us = node.queue_wait_us(arrive_us)
+            if wait_us > config.admission_queue_slack * config.slo_us(table_name):
+                # Fast rejection: the node answers "busy" after one round
+                # trip instead of queueing the read unboundedly.
+                counters.sheds += 1
+                t += 2.0 * link_delay_us + backoff_us
+                backoff_us = min(2.0 * backoff_us, config.retry_backoff_cap_us)
+                continue
+            multiplier = self.faults.latency_multiplier(node_index, t)
+            service = node.serve(table_name, ids, arrive_us, multiplier)
+            attempt_latency_us = 2.0 * link_delay_us + service.total_us
+            completion_us = t + attempt_latency_us
+            # Slow strikes judge *service* time, not queue wait: a backlog
+            # is cluster-wide overload (admission control's domain), not
+            # evidence this replica is broken — striking on totals would
+            # eject healthy nodes exactly when none can be spared.
+            if service.service_us > config.breaker_slow_threshold_us:
+                if num_replicas > 1 and breaker.strike(completion_us):
+                    counters.breaker_ejections += 1
+            else:
+                breaker.succeed()
+            if (
+                attempt == 0
+                and config.hedge_enabled
+                and num_replicas > 1
+                and attempt_latency_us > self._hedge_delay_us
+            ):
+                hedge_completion = self._hedge(
+                    table_name, replicas, node_index, ids, t0_us + self._hedge_delay_us
+                )
+                if hedge_completion is not None:
+                    counters.hedges_launched += 1
+                    if hedge_completion < completion_us:
+                        counters.hedges_won += 1
+                        completion_us = hedge_completion
+            self._record_shard_latency(completion_us - t0_us)
+            return True, completion_us
+        return False, t
+
+    def _hedge(
+        self,
+        table_name: str,
+        replicas: Sequence[int],
+        primary_index: int,
+        ids: np.ndarray,
+        start_us: float,
+    ) -> Optional[float]:
+        """Fire one duplicate read at the first viable secondary replica.
+
+        Returns the hedge's completion time, or ``None`` when no secondary
+        was viable (down, ejected, lost in flight, or shedding) — the hedge
+        is then abandoned and the primary result stands.
+        """
+        config = self.config
+        for node_index in replicas:
+            if node_index == primary_index:
+                continue
+            node = self.nodes[node_index]
+            if not self._breakers[node_index].allows(start_us):
+                continue
+            self._maybe_recover(node, start_us)
+            if self.faults.is_down(node_index, start_us):
+                continue
+            extra_delay_us, loss_prob = self.faults.link(node_index, start_us)
+            if loss_prob > 0.0 and self._rng.random() < loss_prob:
+                return None
+            link_delay_us = config.link_delay_us + extra_delay_us
+            arrive_us = start_us + link_delay_us
+            wait_us = node.queue_wait_us(arrive_us)
+            if wait_us > config.admission_queue_slack * config.slo_us(table_name):
+                return None
+            multiplier = self.faults.latency_multiplier(node_index, start_us)
+            service = node.serve(table_name, ids, arrive_us, multiplier)
+            return start_us + 2.0 * link_delay_us + service.total_us
+        return None
+
+    # ----------------------------------------------------------------- faults
+    def _maybe_recover(self, node: ClusterNode, now_us: float) -> None:
+        """Cold-restart a node the first time it is touched after a crash."""
+        if self.faults.crash_recovered_between(node.index, node.last_seen_us, now_us):
+            node.cold_restart(now_us)
+            self.counters.cold_restarts += 1
+        node.last_seen_us = max(node.last_seen_us, now_us)
+
+    # ---------------------------------------------------------------- hedging
+    def _record_shard_latency(self, latency_us: float) -> None:
+        window = self._latency_window
+        window.append(latency_us)
+        if len(window) > _HEDGE_WINDOW:
+            del window[: len(window) - _HEDGE_WINDOW]
+        self._samples_since_refresh += 1
+        if self._samples_since_refresh >= _HEDGE_REFRESH:
+            self._samples_since_refresh = 0
+            quantile = float(
+                np.percentile(window, self.config.hedge_quantile * 100.0)
+            )
+            self._hedge_delay_us = max(self.config.hedge_min_us, quantile)
+
+    @property
+    def hedge_delay_us(self) -> float:
+        """The current p99-based hedge trigger delay."""
+        return self._hedge_delay_us
+
+    # ---------------------------------------------------------------- metrics
+    def table_stats(self) -> Dict[str, ReplayStats]:
+        """Per-table replay counters, merged over every node's replicas."""
+        merged: Dict[str, ReplayStats] = {}
+        for name, spec in self.specs.items():
+            stats = spec.make_stats()
+            for node in self.nodes:
+                if node.serves_table(name):
+                    stats = stats.merge(node.engines[name].stats)
+            merged[name] = stats
+        return merged
+
+    def aggregate_stats(self) -> ReplayStats:
+        """Cluster-wide replay counters (sum over tables and nodes)."""
+        merged: Optional[ReplayStats] = None
+        for stats in self.table_stats().values():
+            merged = stats if merged is None else merged.merge(stats)
+        return merged if merged is not None else ReplayStats()
+
+    def node_blocks_read(self) -> List[int]:
+        """Per-node NVM blocks read — the cluster's load-skew fingerprint."""
+        return [node.blocks_read() for node in self.nodes]
+
+    def breaker_states(self) -> List[Dict[str, float]]:
+        """Per-node breaker diagnostics (strikes, open-until, ejections)."""
+        return [
+            {
+                "strikes": b.strikes,
+                "open_until_us": b.open_until_us,
+                "ejections": b.ejections,
+            }
+            for b in self._breakers
+        ]

@@ -8,14 +8,18 @@ caches and then serves lookups while accounting for every NVM block read.
 """
 
 from repro.core.bandana import BandanaStore, BandanaTableState
-from repro.core.config import BandanaConfig, TableCacheConfig
+from repro.core.config import BandanaConfig, ClusterConfig, ServingConfig, TableCacheConfig
 from repro.core.metrics import CacheStats, EffectiveBandwidth, LatencyStats
+from repro.core.tablespec import TableServingSpec
 
 __all__ = [
     "BandanaStore",
     "BandanaTableState",
     "BandanaConfig",
+    "ClusterConfig",
+    "ServingConfig",
     "TableCacheConfig",
+    "TableServingSpec",
     "CacheStats",
     "EffectiveBandwidth",
     "LatencyStats",

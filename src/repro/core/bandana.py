@@ -43,6 +43,7 @@ from repro.caching.replay import ReplayStats, replay_table_cache
 from repro.caching.stack_distance import HitRateCurve, hit_rate_curve
 from repro.core.config import BandanaConfig, TableCacheConfig
 from repro.core.metrics import CacheStats, EffectiveBandwidth
+from repro.core.tablespec import TableServingSpec
 from repro.embeddings.model import EmbeddingModel
 from repro.nvm.block import BlockLayout
 from repro.nvm.device import NVMDevice
@@ -77,6 +78,25 @@ class BandanaTableState:
     def cache_stats(self) -> CacheStats:
         """Application-facing summary of the traffic served so far."""
         return CacheStats.from_replay(self.stats)
+
+    def serving_spec(self, config: BandanaConfig) -> TableServingSpec:
+        """The node-independent serving specification of this table.
+
+        Extracts the "table spec owned by the cluster" half of this state
+        (placement, policy, cache budget, geometry), leaving the node-owned
+        half (this state's cache, device and engine) behind.  The returned
+        spec mints cold engines bit-identical in behaviour to this table's
+        own serving engine — :mod:`repro.cluster` builds one per replica.
+        """
+        return TableServingSpec(
+            name=self.name,
+            layout=self.layout,
+            policy_prototype=self.policy,
+            cache_size_vectors=self.cache_config.cache_size_vectors,
+            vector_bytes=config.vector_bytes,
+            device_block_bytes=config.block_bytes,
+            queue_depth=config.queue_depth,
+        )
 
     @property
     def effective_bandwidth(self) -> EffectiveBandwidth:
@@ -312,6 +332,12 @@ class BandanaStore:
         for name, ids in request.items():
             self.lookup(name, ids)
         return self.embedding_model.pooled_features(request)
+
+    def table_specs(self) -> Dict[str, TableServingSpec]:
+        """Node-independent serving specs for every table (cluster input)."""
+        return {
+            name: state.serving_spec(self.config) for name, state in self.tables.items()
+        }
 
     # ---------------------------------------------------------------- metrics
     def table_stats(self) -> Dict[str, CacheStats]:

@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
-from repro.utils.validation import check_fraction, check_positive
+from repro.utils.validation import (
+    check_fraction,
+    check_int_at_least,
+    check_positive,
+    check_probability,
+)
 
 #: Ways of splitting the DRAM budget across tables.
 ALLOCATION_POLICIES = ("hit-rate", "proportional", "uniform")
@@ -84,7 +89,7 @@ class ServingConfig:
         check_positive(self.arrival_rate_rps, "arrival_rate_rps")
         check_positive(self.mmpp_burst_factor, "mmpp_burst_factor")
         check_positive(self.mmpp_mean_dwell_s, "mmpp_mean_dwell_s")
-        check_positive(self.max_batch_requests, "max_batch_requests")
+        check_int_at_least(self.max_batch_requests, 1, "max_batch_requests")
         check_positive(self.slo_latency_us, "slo_latency_us")
         check_positive(self.max_device_queue_depth, "max_device_queue_depth")
         check_positive(self.throughput_window_s, "throughput_window_s")
@@ -102,6 +107,136 @@ class ServingConfig:
             raise ValueError(
                 "mmpp_burst_fraction must lie strictly between 0 and 1"
             )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs of the simulated multi-node cluster store (:mod:`repro.cluster`).
+
+    Topology
+    --------
+    num_nodes:
+        Simulated store nodes in the cluster.
+    replication:
+        Copies of every shard (``R``), placed on distinct nodes by walking
+        the consistent-hash ring.  Reads go to one replica (read-one); the
+        others absorb retries and hedges.  Clamped to ``num_nodes`` at ring
+        construction.
+    virtual_nodes:
+        Virtual nodes per physical node on the hash ring — more vnodes
+        smooth the per-node ownership shares at the cost of ring size.
+
+    Per-attempt costs
+    -----------------
+    node_overhead_us:
+        Fixed per-shard-read service time on the owning node (request
+        parsing, cache probing), before any NVM reads.
+    link_delay_us:
+        Healthy one-way network delay between the router and a node (paid
+        twice per attempt).
+    shard_timeout_us:
+        How long the router waits for a shard read before declaring the
+        attempt dead (crashed node, lost packet) and retrying.
+
+    Retries, hedging, breaker, admission
+    ------------------------------------
+    retry_backoff_us / retry_backoff_cap_us:
+        First retry backoff and its cap; the backoff doubles per attempt
+        (capped exponential backoff), and each retry targets the shard's
+        next replica.
+    max_attempts:
+        Total attempts (first try + retries) before a shard read is declared
+        failed and the request degrades.
+    hedge_enabled / hedge_quantile / hedge_min_us:
+        Hedged reads: when a first attempt's observed latency exceeds the
+        running ``hedge_quantile`` estimate of shard latency (never below
+        ``hedge_min_us``), a duplicate read is fired at another replica and
+        the earlier completion wins.  Requires ``replication >= 2``.
+    breaker_failure_threshold:
+        Consecutive failures-or-slow-responses after which a node's circuit
+        breaker opens (the router stops routing to it without paying
+        timeouts).
+    breaker_slow_threshold_us:
+        Attempt latency counted as a "slow strike" against the breaker —
+        this is what ejects persistently slow (but alive) replicas.
+    breaker_cooloff_s:
+        Simulated seconds an open breaker stays open before the node is
+        probed again (half-open).
+    admission_queue_slack:
+        Queue-level admission control: a node sheds a shard read instead of
+        enqueueing it when its backlog exceeds ``slack ×`` the table's SLO
+        (see ``table_slo_us``), so overload degrades into fast rejections
+        (picked up by another replica) rather than unbounded queueing.
+    default_slo_us / table_slo_us:
+        Per-table latency SLOs used by admission control; ``table_slo_us``
+        is a ``(name, slo_us)`` tuple sequence overriding the default.
+
+    request_overhead_us:
+        Router-side fan-out/fan-in overhead added to every request.
+    seed:
+        Seed of the cluster's stochastic machinery (link-loss draws).
+    """
+
+    num_nodes: int = 4
+    replication: int = 2
+    virtual_nodes: int = 64
+    node_overhead_us: float = 5.0
+    link_delay_us: float = 2.0
+    shard_timeout_us: float = 1000.0
+    retry_backoff_us: float = 100.0
+    retry_backoff_cap_us: float = 2000.0
+    max_attempts: int = 4
+    hedge_enabled: bool = True
+    hedge_quantile: float = 0.99
+    hedge_min_us: float = 100.0
+    breaker_failure_threshold: int = 5
+    breaker_slow_threshold_us: float = 20000.0
+    breaker_cooloff_s: float = 0.25
+    admission_queue_slack: float = 4.0
+    default_slo_us: float = 2000.0
+    table_slo_us: Sequence[Tuple[str, float]] = ()
+    request_overhead_us: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_int_at_least(self.num_nodes, 1, "num_nodes")
+        check_int_at_least(self.replication, 1, "replication")
+        check_int_at_least(self.virtual_nodes, 1, "virtual_nodes")
+        check_int_at_least(self.max_attempts, 1, "max_attempts")
+        check_int_at_least(
+            self.breaker_failure_threshold, 1, "breaker_failure_threshold"
+        )
+        if self.node_overhead_us < 0:
+            raise ValueError("node_overhead_us must be >= 0")
+        if self.link_delay_us < 0:
+            raise ValueError("link_delay_us must be >= 0")
+        check_positive(self.shard_timeout_us, "shard_timeout_us")
+        check_positive(self.retry_backoff_us, "retry_backoff_us")
+        check_positive(self.retry_backoff_cap_us, "retry_backoff_cap_us")
+        if self.retry_backoff_cap_us < self.retry_backoff_us:
+            raise ValueError(
+                "retry_backoff_cap_us must be >= retry_backoff_us "
+                f"({self.retry_backoff_cap_us} < {self.retry_backoff_us})"
+            )
+        check_fraction(self.hedge_quantile, "hedge_quantile")
+        check_positive(self.hedge_min_us, "hedge_min_us")
+        check_positive(self.breaker_slow_threshold_us, "breaker_slow_threshold_us")
+        check_positive(self.breaker_cooloff_s, "breaker_cooloff_s")
+        check_positive(self.admission_queue_slack, "admission_queue_slack")
+        check_positive(self.default_slo_us, "default_slo_us")
+        if self.request_overhead_us < 0:
+            raise ValueError("request_overhead_us must be >= 0")
+        slos = tuple((str(name), float(slo)) for name, slo in self.table_slo_us)
+        for name, slo in slos:
+            check_positive(slo, f"table_slo_us[{name!r}]")
+        object.__setattr__(self, "table_slo_us", slos)
+
+    def slo_us(self, table_name: str) -> float:
+        """The admission-control latency SLO for one table."""
+        for name, slo in self.table_slo_us:
+            if name == table_name:
+                return slo
+        return self.default_slo_us
 
 
 @dataclass(frozen=True)
@@ -183,10 +318,21 @@ class BandanaConfig:
         Worker processes for interleaved store replay: tables are sharded
         across this many processes by lookup volume.  ``1`` replays inline
         in the calling process.
+    chunk_requests:
+        Requests accumulated per table between engine flushes during
+        interleaved replay (see
+        :data:`repro.simulation.interleaved.DEFAULT_CHUNK_REQUESTS`; the
+        literal ``64`` here must match it — config cannot import the
+        simulation package without a cycle).  Counters are bit-identical
+        for every value; this is purely a throughput knob.
     serving:
         Batch-serving front-end configuration consumed by
         :func:`repro.serving.simulate_serving` (arrival process, batching
         cutoffs, SLO and device-feedback knobs).
+    cluster:
+        Simulated multi-node cluster topology and robustness knobs consumed
+        by :mod:`repro.cluster` (sharding, replication, timeouts, hedging,
+        circuit breaking, admission control).
     """
 
     vector_bytes: int = 128
@@ -205,16 +351,19 @@ class BandanaConfig:
     use_batched_engine: bool = True
     interleaved_replay: bool = False
     num_workers: int = 1
+    chunk_requests: int = 64
     serving: ServingConfig = ServingConfig()
+    cluster: ClusterConfig = ClusterConfig()
 
     def __post_init__(self) -> None:
-        check_positive(self.vector_bytes, "vector_bytes")
-        check_positive(self.block_bytes, "block_bytes")
+        check_int_at_least(self.vector_bytes, 1, "vector_bytes")
+        check_int_at_least(self.block_bytes, 1, "block_bytes")
         check_positive(self.total_cache_vectors, "total_cache_vectors")
         check_positive(self.shp_iterations, "shp_iterations")
         check_positive(self.kmeans_clusters, "kmeans_clusters")
         check_positive(self.queue_depth, "queue_depth")
-        check_positive(self.num_workers, "num_workers")
+        check_int_at_least(self.num_workers, 1, "num_workers")
+        check_int_at_least(self.chunk_requests, 1, "chunk_requests")
         check_fraction(self.mini_cache_sampling_rate, "mini_cache_sampling_rate")
         if self.interleaved_replay and not self.use_batched_engine:
             raise ValueError(

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Mapping, Optional
 import numpy as np
 
 from repro.embeddings.table import EmbeddingTable
+from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 
 
@@ -105,7 +106,7 @@ class RecommendationModel:
         )
         if input_dim == self.dense_dim:
             raise ValueError("embedding_model must contain at least one table")
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         dims = [input_dim] + [int(d) for d in hidden_dims] + [1]
         self._weights = []
         self._biases = []

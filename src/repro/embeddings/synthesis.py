@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative, check_positive
 
 
@@ -58,7 +59,7 @@ def synthesize_topic_vectors(
     topic_of = np.asarray(topic_of, dtype=np.int64)
     if topic_of.ndim != 1:
         raise ValueError("topic_of must be one-dimensional")
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     num_vectors = topic_of.size
     num_topics = int(topic_of.max()) + 1 if (topic_of >= 0).any() else 0
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.embeddings.table import EmbeddingTable
 from repro.partitioning.base import Partitioner, PartitionResult
+from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 from repro.workloads.trace import Trace
 
@@ -66,7 +67,7 @@ def kmeans_cluster(
         raise ValueError(f"values must be 2-D, got shape {values.shape}")
     num_points = values.shape[0]
     num_clusters = int(min(num_clusters, num_points))
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
 
     if num_clusters == 1:
         centroids = values.mean(axis=0, keepdims=True)

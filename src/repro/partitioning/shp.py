@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.embeddings.table import EmbeddingTable
 from repro.partitioning.base import Partitioner, PartitionResult
+from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 from repro.workloads.trace import Trace
 
@@ -101,7 +102,7 @@ class SHPPartitioner(Partitioner):
                 "trace references more vectors than the table being partitioned"
             )
         start = time.perf_counter()
-        rng = np.random.default_rng(self.seed)
+        rng = ensure_rng(self.seed)
 
         members, query_ids, num_queries = self._flatten_queries(trace)
         root = _SubProblem(

@@ -22,9 +22,12 @@ pin.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.config import ServingConfig
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive
 
 
@@ -98,10 +101,19 @@ def mmpp_arrival_times(
 
 
 def arrival_times(
-    config: ServingConfig, num_requests: int, seed: int
+    config: ServingConfig,
+    num_requests: int,
+    seed: SeedLike = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
-    """Arrival timestamps for ``num_requests`` under ``config`` (seconds)."""
-    rng = np.random.default_rng(seed)
+    """Arrival timestamps for ``num_requests`` under ``config`` (seconds).
+
+    The process is driven by ``rng`` when given (callers composing several
+    stochastic components around one shared generator), else by a fresh
+    generator from ``seed`` — which itself may be an integer or an existing
+    :class:`numpy.random.Generator` (see :func:`repro.utils.rng.ensure_rng`).
+    """
+    rng = rng if rng is not None else ensure_rng(seed)
     if config.arrival_process == "mmpp":
         return mmpp_arrival_times(
             num_requests,

@@ -30,7 +30,7 @@ front-end only re-times the exact same work.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from repro.serving.batcher import form_batches
 from repro.serving.report import LatencySummary, ServingReport, depth_histogram
 from repro.workloads.trace import ModelTrace
 
+if TYPE_CHECKING:  # repro.cluster imports this package; import only for types
+    from repro.cluster.store import ClusterStore
+
 
 def simulate_serving(
     store: BandanaStore,
@@ -51,6 +54,7 @@ def simulate_serving(
     num_requests: Optional[int] = None,
     reset_first: bool = True,
     latency_model: Optional[NVMLatencyModel] = None,
+    cluster: Optional["ClusterStore"] = None,
 ) -> ServingReport:
     """Serve a model trace through a store under an open-loop arrival process.
 
@@ -74,6 +78,14 @@ def simulate_serving(
         Latency model of the serving tier's NVM device; defaults to the
         paper-calibrated :class:`~repro.nvm.latency.NVMLatencyModel` at the
         store's block size.
+    cluster:
+        Optional :class:`~repro.cluster.store.ClusterStore` to route through
+        instead of the single-host store.  Requests still arrive and batch
+        exactly as before, but each one is served by the cluster's
+        fan-out/fan-in path at its batch's dispatch time — so the reported
+        p999 reflects fan-in stragglers, retries and hedges, and the
+        cluster's ``request_overhead_us`` replaces the front-end's (no
+        double counting).  ``store`` then only supplies defaults/seed.
     """
     # Imported here: repro.simulation imports this package at init time, so
     # a module-level import would be circular (same pattern as bandana.py).
@@ -81,7 +93,10 @@ def simulate_serving(
 
     config = config or store.config.serving
     if reset_first:
-        store.reset_serving_state()
+        if cluster is not None:
+            cluster.reset_serving_state()
+        else:
+            store.reset_serving_state()
     requests = list(iter_store_requests(eval_trace))
     if num_requests is not None:
         requests = requests[: int(num_requests)]
@@ -90,6 +105,10 @@ def simulate_serving(
     seed = store.config.seed if config.seed is None else config.seed
     arrival_us = arrival_times(config, n, seed=seed) * 1e6
     batches = form_batches(arrival_us, config.max_batch_requests, config.max_linger_us)
+    if cluster is not None:
+        return _simulate_cluster_serving(
+            cluster, requests, arrival_us, batches, config
+        )
 
     model = latency_model or NVMLatencyModel(block_bytes=store.config.block_bytes)
     accountant = DeviceLatencyAccountant(
@@ -172,4 +191,56 @@ def simulate_serving(
         lookups=int(lookups),
         hit_rate=hits / lookups if lookups else 0.0,
         steady_state=steady_state,
+    )
+
+
+def _simulate_cluster_serving(
+    cluster: "ClusterStore",
+    requests: List[Dict[str, np.ndarray]],
+    arrival_us: np.ndarray,
+    batches,
+    config: ServingConfig,
+) -> ServingReport:
+    """The cluster-routed serving path (see ``simulate_serving``'s ``cluster``).
+
+    The batcher still gates dispatch (requests wait out the linger window),
+    but timing inside the store is the cluster's: per-shard queueing on each
+    node's FIFO clock, retries, hedges and fan-in.  Device-accountant
+    metrics (queue-depth histogram, steady-state cross-check) do not apply —
+    each cluster node owns its device — and are reported empty.
+    """
+    n = len(requests)
+    stats_before = cluster.aggregate_stats()
+    latencies = np.empty(n, dtype=np.float64)
+    batch_sizes = np.empty(len(batches), dtype=np.int64)
+    last_completion_us = 0.0
+    for b, batch in enumerate(batches):
+        for i in range(batch.start, batch.stop):
+            outcome = cluster.serve_request(requests[i], now_us=float(batch.dispatch_us))
+            latencies[i] = outcome.completion_us - arrival_us[i]
+            last_completion_us = max(last_completion_us, outcome.completion_us)
+        batch_sizes[b] = batch.size
+    stats_after = cluster.aggregate_stats()
+    lookups = stats_after.lookups - stats_before.lookups
+    hits = stats_after.hits - stats_before.hits
+    blocks_read = stats_after.misses - stats_before.misses
+    makespan_us = last_completion_us - (float(arrival_us[0]) if n else 0.0)
+    makespan_s = makespan_us / 1e6
+    return ServingReport(
+        num_requests=n,
+        num_batches=len(batches),
+        offered_rate_rps=config.arrival_rate_rps,
+        throughput_rps=n / makespan_s if makespan_s > 0 else 0.0,
+        makespan_s=makespan_s,
+        latency=LatencySummary.from_samples(latencies),
+        slo_latency_us=config.slo_latency_us,
+        slo_violations=int(np.count_nonzero(latencies > config.slo_latency_us)),
+        mean_batch_size=float(batch_sizes.mean()) if len(batches) else 0.0,
+        batch_size_hist={
+            int(size): int(count)
+            for size, count in zip(*np.unique(batch_sizes, return_counts=True))
+        },
+        blocks_read=int(blocks_read),
+        lookups=int(lookups),
+        hit_rate=hits / lookups if lookups else 0.0,
     )

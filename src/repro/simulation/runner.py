@@ -27,11 +27,7 @@ from repro.caching.replay import (
 from repro.core.bandana import BandanaStore
 from repro.core.metrics import CacheStats, EffectiveBandwidth
 from repro.nvm.block import BlockLayout
-from repro.simulation.interleaved import (
-    DEFAULT_CHUNK_REQUESTS,
-    TableReplayTask,
-    replay_store_interleaved,
-)
+from repro.simulation.interleaved import TableReplayTask, replay_store_interleaved
 from repro.workloads.trace import ModelTrace, Trace
 
 
@@ -192,7 +188,7 @@ def simulate_store(
     reset_first: bool = True,
     interleaved: Optional[bool] = None,
     num_workers: Optional[int] = None,
-    chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+    chunk_requests: Optional[int] = None,
 ) -> StoreSimulationResult:
     """Replay a full model trace through a built Bandana store.
 
@@ -219,6 +215,8 @@ def simulate_store(
         interleaved = config.interleaved_replay
     if num_workers is None:
         num_workers = config.num_workers
+    if chunk_requests is None:
+        chunk_requests = config.chunk_requests
     if reset_first:
         store.reset_serving_state()
     if interleaved:

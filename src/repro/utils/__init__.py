@@ -1,12 +1,15 @@
-"""Small shared helpers: argument validation and sampling primitives."""
+"""Small shared helpers: argument validation, RNG plumbing and sampling."""
 
 from repro.utils.validation import (
     check_positive,
     check_non_negative,
     check_in_range,
     check_fraction,
+    check_probability,
+    check_int_at_least,
     check_array_1d_ints,
 )
+from repro.utils.rng import SeedLike, derive_rng, ensure_rng
 from repro.utils.sampling import (
     spatial_hash_sample_mask,
     sample_queries_spatially,
@@ -18,7 +21,12 @@ __all__ = [
     "check_non_negative",
     "check_in_range",
     "check_fraction",
+    "check_probability",
+    "check_int_at_least",
     "check_array_1d_ints",
+    "SeedLike",
+    "derive_rng",
+    "ensure_rng",
     "spatial_hash_sample_mask",
     "sample_queries_spatially",
     "zipf_probabilities",

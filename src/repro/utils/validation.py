@@ -38,6 +38,37 @@ def check_fraction(value: float, name: str) -> float:
     return check_in_range(value, 0.0, 1.0, name)
 
 
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it is a valid probability, else raise ``ValueError``.
+
+    Alias of :func:`check_fraction` with a message that says "probability",
+    for knobs that are genuinely chances (e.g. per-attempt link loss) rather
+    than ratios.
+    """
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_int_at_least(value: Any, minimum: int, name: str) -> int:
+    """Return ``value`` as an ``int`` if it is an integer >= ``minimum``.
+
+    Rejects booleans and non-integral floats: worker counts, chunk sizes and
+    replica counts are exact quantities, and silently truncating ``2.5``
+    workers would hide a configuration bug.  The error message names the knob
+    and the constraint so a bad config fails at construction, not as an
+    obscure downstream crash.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(
+            f"{name} must be an integer >= {minimum}, got {value!r} "
+            f"of type {type(value).__name__}"
+        )
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+    return int(value)
+
+
 def check_array_1d_ints(values: Any, name: str) -> np.ndarray:
     """Coerce ``values`` to a 1-D ``int64`` array, raising on bad shapes.
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.caching.replay import ReplayStats
-from repro.core.config import BandanaConfig, TableCacheConfig
+from repro.core.config import BandanaConfig, ClusterConfig, ServingConfig, TableCacheConfig
 from repro.core.metrics import CacheStats, EffectiveBandwidth, LatencyStats
 from repro.nvm.latency import NVMLatencyModel
 
@@ -93,3 +93,63 @@ class TestLatencyStats:
             10, model, device_throughput_mbps=0.95 * model.bandwidth_gbps(8) * 1000
         )
         assert loaded.mean_us > unloaded.mean_us
+
+
+class TestConfigKnobValidation:
+    """The worker/chunk/serving/cluster knobs fail loudly at construction."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"chunk_requests": 0},
+            {"vector_bytes": 0},
+        ],
+    )
+    def test_bandana_rejects_non_positive_counts(self, kwargs):
+        with pytest.raises(ValueError, match=next(iter(kwargs))):
+            BandanaConfig(**kwargs)
+
+    @pytest.mark.parametrize("kwargs", [{"num_workers": 2.5}, {"chunk_requests": True}])
+    def test_bandana_rejects_non_integer_counts(self, kwargs):
+        with pytest.raises(TypeError, match=next(iter(kwargs))):
+            BandanaConfig(**kwargs)
+
+    def test_serving_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="slo_latency_us"):
+            ServingConfig(slo_latency_us=0.0)
+        with pytest.raises(ValueError, match="max_batch_requests"):
+            ServingConfig(max_batch_requests=0)
+        with pytest.raises(TypeError, match="max_batch_requests"):
+            ServingConfig(max_batch_requests=4.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"replication": 0},
+            {"virtual_nodes": 0},
+            {"max_attempts": 0},
+            {"default_slo_us": 0.0},
+            {"shard_timeout_us": 0.0},
+            {"hedge_quantile": 1.5},
+            {"admission_queue_slack": -1.0},
+        ],
+    )
+    def test_cluster_rejects_bad_knobs(self, kwargs):
+        with pytest.raises((ValueError, TypeError), match=next(iter(kwargs))):
+            ClusterConfig(**kwargs)
+
+    def test_cluster_rejects_non_positive_table_slo(self):
+        with pytest.raises(ValueError, match="table_slo_us"):
+            ClusterConfig(table_slo_us=(("t", 0.0),))
+
+    def test_cluster_table_slo_lookup(self):
+        config = ClusterConfig(default_slo_us=900.0, table_slo_us=(("hot", 100.0),))
+        assert config.slo_us("hot") == 100.0
+        assert config.slo_us("cold") == 900.0
+
+    def test_bandana_carries_cluster_config(self):
+        config = BandanaConfig(cluster=ClusterConfig(num_nodes=8, replication=3))
+        assert config.cluster.num_nodes == 8
+        assert config.cluster.replication == 3

@@ -33,6 +33,7 @@ from repro.simulation.interleaved import (
     TableReplayTask,
     baseline_stats_for,
     iter_store_requests,
+    TableReplayResult,
     merge_replay_stats,
     replay_store_interleaved,
     shard_tasks,
@@ -396,3 +397,88 @@ class TestInterleavedServing:
         merged = merge_replay_stats(results)
         assert merged.lookups == sum(t.num_lookups for t in trace.tables.values())
         assert merged.lookups == store.aggregate_stats().lookups
+
+
+class TestMergeReplayStatsEdges:
+    """Edge cases of the store-aggregate merge (empty, single, mismatched)."""
+
+    @staticmethod
+    def make_result(name, lookups, hits, vector_bytes=128, block_bytes=1024):
+        stats = ReplayStats(
+            vector_bytes=vector_bytes,
+            block_bytes=block_bytes,
+            lookups=lookups,
+            hits=hits,
+            misses=lookups - hits,
+        )
+        return TableReplayResult(name=name, engine=None, stats=stats)
+
+    def test_empty_shard_list_is_zero_stats(self):
+        merged = merge_replay_stats({})
+        assert merged.counters(include_latency=True) == ReplayStats().counters(
+            include_latency=True
+        )
+
+    def test_single_shard_passes_counters_through(self):
+        result = self.make_result("t", lookups=10, hits=4)
+        merged = merge_replay_stats({"t": result})
+        assert merged.counters() == result.stats.counters()
+        assert merged.vector_bytes == 128 and merged.block_bytes == 1024
+
+    def test_mismatched_table_sets_union_like_merge(self):
+        # Two worker shards come back with disjoint table sets; merging the
+        # concatenated mapping equals merging each shard then summing.
+        shard_a = {"t1": self.make_result("t1", 10, 3)}
+        shard_b = {
+            "t2": self.make_result("t2", 7, 7),
+            "t3": self.make_result("t3", 5, 0),
+        }
+        merged = merge_replay_stats({**shard_a, **shard_b})
+        partial = merge_replay_stats(shard_a).merge(merge_replay_stats(shard_b))
+        assert merged.counters() == partial.counters()
+        assert merged.lookups == 22 and merged.hits == 10
+
+    def test_mismatched_geometry_rejected(self):
+        results = {
+            "t1": self.make_result("t1", 10, 3, block_bytes=1024),
+            "t2": self.make_result("t2", 7, 7, block_bytes=4096),
+        }
+        with pytest.raises(ValueError, match="vector/block sizes"):
+            merge_replay_stats(results)
+
+
+class TestMoreWorkersThanTables:
+    @pytest.mark.parametrize("num_workers", [7, 16])
+    def test_bit_identical_to_sequential(self, num_workers):
+        # POLICY_TABLES has 6 tables; extra workers must collapse to empty
+        # shards, not crash or perturb the replay.
+        sequential_store, trace = build_store(3)
+        simulate_store(sequential_store, trace)
+        interleaved_store, trace_copy = build_store(
+            3, interleaved=True, num_workers=num_workers
+        )
+        result = simulate_store(interleaved_store, trace_copy)
+        # The runner clamps to one worker per table (empty shards are never
+        # spawned), so the effective count is the table count.
+        assert result.num_workers == min(num_workers, len(POLICY_TABLES))
+        for name in trace:
+            assert counters(interleaved_store.tables[name].stats) == counters(
+                sequential_store.tables[name].stats
+            ), name
+
+    def test_shard_tasks_never_exceeds_table_count(self):
+        store, trace = build_store(3, interleaved=True)
+        tasks = [
+            TableReplayTask(
+                name=name,
+                engine=store.serving_engine(name),
+                queries=table_trace.queries,
+                include_baseline=False,
+            )
+            for name, table_trace in trace.items()
+        ]
+        shards = shard_tasks(tasks, num_workers=50)
+        assert len(shards) <= len(tasks)
+        assert sorted(t.name for shard in shards for t in shard) == sorted(
+            t.name for t in tasks
+        )

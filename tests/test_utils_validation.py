@@ -7,8 +7,10 @@ from repro.utils.validation import (
     check_array_1d_ints,
     check_fraction,
     check_in_range,
+    check_int_at_least,
     check_non_negative,
     check_positive,
+    check_probability,
 )
 
 
@@ -69,3 +71,34 @@ class TestCheckArray1dInts:
 
     def test_empty_ok(self):
         assert check_array_1d_ints([], "ids").size == 0
+
+
+class TestCheckProbability:
+    def test_accepts_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects_outside_unit_interval(self, value):
+        with pytest.raises(ValueError, match="p"):
+            check_probability(value, "p")
+
+
+class TestCheckIntAtLeast:
+    def test_accepts_and_returns_int(self):
+        out = check_int_at_least(3, 1, "num_workers")
+        assert out == 3 and isinstance(out, int)
+
+    def test_rejects_below_minimum_naming_the_knob(self):
+        with pytest.raises(ValueError, match="num_workers.*>= 1"):
+            check_int_at_least(0, 1, "num_workers")
+
+    @pytest.mark.parametrize("value", [2.0, "2", None])
+    def test_rejects_non_integers(self, value):
+        with pytest.raises(TypeError, match="chunk"):
+            check_int_at_least(value, 1, "chunk")
+
+    def test_rejects_bool(self):
+        # bool is an int subclass; True silently meaning 1 hides bugs.
+        with pytest.raises(TypeError):
+            check_int_at_least(True, 1, "x")
