@@ -55,6 +55,7 @@ import heapq
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.caching.policies import PrefetchPolicy
 from repro.caching.replay import ReplayStats
@@ -85,7 +86,7 @@ class ArrayLRUCache:
     #: Compact the lazy heap only once it exceeds this many entries.
     _COMPACT_MIN = 64
 
-    def __init__(self, capacity: int, num_slots: int):
+    def __init__(self, capacity: int, num_slots: int) -> None:
         check_non_negative(capacity, "capacity")
         check_positive(num_slots, "num_slots")
         self.capacity = int(capacity)
@@ -356,7 +357,7 @@ class BatchReplayEngine:
         device: Optional[NVMDevice] = None,
         queue_depth: float = 8.0,
         stats: Optional[ReplayStats] = None,
-    ):
+    ) -> None:
         check_positive(vector_bytes, "vector_bytes")
         block_bytes = layout.vectors_per_block * vector_bytes
         if stats is None:
@@ -410,7 +411,7 @@ class BatchReplayEngine:
         self.replay_query(np.concatenate(arrays) if len(arrays) > 1 else arrays[0])
         return self.stats
 
-    def replay_query(self, ids, validate: bool = True) -> None:
+    def replay_query(self, ids: npt.ArrayLike, validate: bool = True) -> None:
         """Replay one query (an id array) against the cache.
 
         ``validate=False`` skips the per-query id range check when the caller

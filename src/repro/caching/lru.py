@@ -37,7 +37,7 @@ class LRUCache:
         sweeps).
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         check_non_negative(capacity, "capacity")
         self.capacity = int(capacity)
         self._priority: Dict[int, float] = {}

@@ -98,7 +98,7 @@ class MiniatureCacheTuner:
         thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
         vector_bytes: int = 128,
         use_batched_engine: bool = True,
-    ):
+    ) -> None:
         check_fraction(sampling_rate, "sampling_rate")
         if sampling_rate <= 0:
             raise ValueError("sampling_rate must be > 0")

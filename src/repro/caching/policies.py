@@ -140,7 +140,7 @@ class InsertAtPositionPolicy(PrefetchPolicy):
     name = "insert-at-position"
     admit_is_static = True
 
-    def __init__(self, position: float = 0.5):
+    def __init__(self, position: float = 0.5) -> None:
         check_fraction(position, "position")
         self.position = float(position)
         self.always_top_positions = self.position == 0.0
@@ -165,7 +165,7 @@ class ShadowAdmissionPolicy(PrefetchPolicy):
     name = "shadow-admission"
     always_top_positions = True
 
-    def __init__(self, real_cache_size: int, multiplier: float = 1.0):
+    def __init__(self, real_cache_size: int, multiplier: float = 1.0) -> None:
         self.real_cache_size = int(real_cache_size)
         self.multiplier = float(multiplier)
         self.shadow = ShadowCache(real_cache_size, multiplier)
@@ -202,7 +202,7 @@ class CombinedPolicy(PrefetchPolicy):
         real_cache_size: int,
         position: float = 0.5,
         multiplier: float = 1.0,
-    ):
+    ) -> None:
         check_fraction(position, "position")
         self.position = float(position)
         self.always_top_positions = self.position == 0.0
@@ -247,7 +247,7 @@ class AccessThresholdPolicy(PrefetchPolicy):
     admit_is_static = True
     always_top_positions = True
 
-    def __init__(self, access_counts: np.ndarray, threshold: float):
+    def __init__(self, access_counts: np.ndarray, threshold: float) -> None:
         check_non_negative(threshold, "threshold")
         self.access_counts = np.asarray(access_counts, dtype=np.int64)
         if self.access_counts.ndim != 1:
@@ -279,7 +279,7 @@ _POLICY_REGISTRY: Dict[str, Type[PrefetchPolicy]] = {
 }
 
 
-def make_policy(name: str, **kwargs) -> PrefetchPolicy:
+def make_policy(name: str, **kwargs: object) -> PrefetchPolicy:
     """Instantiate a policy by its registered name.
 
     Examples

@@ -27,7 +27,7 @@ class ShadowCache:
         paper's Figure 11b).
     """
 
-    def __init__(self, real_cache_size: int, multiplier: float = 1.0):
+    def __init__(self, real_cache_size: int, multiplier: float = 1.0) -> None:
         check_non_negative(real_cache_size, "real_cache_size")
         check_positive(multiplier, "multiplier")
         self.multiplier = float(multiplier)

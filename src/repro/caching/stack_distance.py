@@ -37,7 +37,7 @@ COLD_MISS = -1
 class _FenwickTree:
     """A Fenwick tree over positions 1..n supporting point update / prefix sum."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int) -> None:
         self._tree = np.zeros(size + 1, dtype=np.int64)
         self._size = size
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Tuple
 
+from repro.utils.units import s_to_us
 from repro.utils.validation import (
     check_int_at_least,
     check_non_negative,
@@ -107,10 +108,13 @@ class FaultSchedule:
 
     All queries take the current simulated time in **microseconds** (the
     cluster's clock unit); event windows are declared in seconds, the unit
-    scenario authors think in.
+    scenario authors think in, and are normalised to *integer* microseconds
+    once at construction — queries never convert the clock back to float
+    seconds, so window boundaries are exact µs ticks rather than artifacts
+    of binary floating point (``0.2 * 1e6`` is ``200000.00000000003``).
     """
 
-    def __init__(self, events: Iterable[FaultEvent] = ()):
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
         events = tuple(events)
         for event in events:
             if not isinstance(event, (NodeCrash, SlowNode, DegradedLink)):
@@ -119,14 +123,22 @@ class FaultSchedule:
                     f"got {type(event).__name__}"
                 )
         self.events = events
-        self._crashes: List[NodeCrash] = [
-            e for e in events if isinstance(e, NodeCrash)
+        # Each index holds (event, start_us, end_us) with the window already
+        # normalised to integer µs.
+        self._crashes: List[Tuple[NodeCrash, int, int]] = [
+            (e, s_to_us(e.start_s), s_to_us(e.end_s))
+            for e in events
+            if isinstance(e, NodeCrash)
         ]
-        self._slowdowns: List[SlowNode] = [
-            e for e in events if isinstance(e, SlowNode)
+        self._slowdowns: List[Tuple[SlowNode, int, int]] = [
+            (e, s_to_us(e.start_s), s_to_us(e.end_s))
+            for e in events
+            if isinstance(e, SlowNode)
         ]
-        self._links: List[DegradedLink] = [
-            e for e in events if isinstance(e, DegradedLink)
+        self._links: List[Tuple[DegradedLink, int, int]] = [
+            (e, s_to_us(e.start_s), s_to_us(e.end_s))
+            for e in events
+            if isinstance(e, DegradedLink)
         ]
 
     def __len__(self) -> int:
@@ -135,17 +147,16 @@ class FaultSchedule:
     # ---------------------------------------------------------------- queries
     def is_down(self, node: int, now_us: float) -> bool:
         """Whether ``node`` is crashed at simulated time ``now_us``."""
-        now_s = now_us / 1e6
         return any(
-            e.node == node and e.start_s <= now_s < e.end_s for e in self._crashes
+            e.node == node and start_us <= now_us < end_us
+            for e, start_us, end_us in self._crashes
         )
 
     def latency_multiplier(self, node: int, now_us: float) -> float:
         """Service-time multiplier on ``node`` (product of active slowdowns)."""
-        now_s = now_us / 1e6
         multiplier = 1.0
-        for e in self._slowdowns:
-            if e.node == node and e.start_s <= now_s < e.end_s:
+        for e, start_us, end_us in self._slowdowns:
+            if e.node == node and start_us <= now_us < end_us:
                 multiplier *= e.multiplier
         return multiplier
 
@@ -155,11 +166,10 @@ class FaultSchedule:
         Delays of overlapping events add; losses combine as independent
         drops (``1 - Π(1 - p)``).
         """
-        now_s = now_us / 1e6
         delay = 0.0
         survive = 1.0
-        for e in self._links:
-            if e.node == node and e.start_s <= now_s < e.end_s:
+        for e, start_us, end_us in self._links:
+            if e.node == node and start_us <= now_us < end_us:
                 delay += e.extra_delay_us
                 survive *= 1.0 - e.loss_prob
         return delay, 1.0 - survive
@@ -172,9 +182,9 @@ class FaultSchedule:
         The cluster uses this to cold-restart a node's caches the first time
         it is touched after recovering.
         """
-        since_s, now_s = since_us / 1e6, now_us / 1e6
         return any(
-            e.node == node and since_s < e.end_s <= now_s for e in self._crashes
+            e.node == node and since_us < end_us <= now_us
+            for e, _start_us, end_us in self._crashes
         )
 
 
@@ -268,7 +278,7 @@ SCENARIOS: Dict[str, Callable[..., FaultSchedule]] = {
 }
 
 
-def make_scenario(name: str, num_nodes: int, **overrides) -> FaultSchedule:
+def make_scenario(name: str, num_nodes: int, **overrides: float) -> FaultSchedule:
     """Instantiate a named scenario from the catalog.
 
     ``overrides`` tune the scenario's knobs (window, target node, severity);

@@ -68,7 +68,7 @@ class ClusterNode:
         specs: Mapping[str, TableServingSpec],
         owned_blocks: Mapping[str, int],
         node_overhead_us: float = 5.0,
-    ):
+    ) -> None:
         self.index = index
         self.node_overhead_us = float(node_overhead_us)
         self._specs: Dict[str, TableServingSpec] = {}

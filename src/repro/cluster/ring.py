@@ -49,7 +49,7 @@ class ConsistentHashRing:
         Virtual nodes per physical node.
     """
 
-    def __init__(self, node_names: Sequence[str], virtual_nodes: int = 64):
+    def __init__(self, node_names: Sequence[str], virtual_nodes: int = 64) -> None:
         names = list(node_names)
         if not names:
             raise ValueError("the ring needs at least one node")

@@ -192,7 +192,7 @@ def sweep_scenarios(
     store: BandanaStore,
     eval_trace: ModelTrace,
     scenarios: Optional[Sequence[str]] = None,
-    **kwargs,
+    **kwargs: object,
 ) -> Dict[str, ClusterReport]:
     """Run the scenario catalog back-to-back, one fresh cluster per scenario.
 

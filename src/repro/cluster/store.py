@@ -39,7 +39,7 @@ order — bit-identical counters to :class:`~repro.core.bandana.BandanaStore`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,7 +49,11 @@ from repro.cluster.node import ClusterNode
 from repro.cluster.ring import ConsistentHashRing
 from repro.core.config import ClusterConfig
 from repro.core.tablespec import TableServingSpec
+from repro.utils.units import s_to_us
 from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:
+    from repro.core.bandana import BandanaStore
 
 #: Size of the trailing shard-latency window behind the hedge-delay estimate.
 _HEDGE_WINDOW = 512
@@ -127,9 +131,9 @@ class RequestOutcome:
 class _CircuitBreaker:
     """Consecutive-strike breaker for one node (see module docstring)."""
 
-    def __init__(self, failure_threshold: int, cooloff_us: float):
+    def __init__(self, failure_threshold: int, cooloff_us: int) -> None:
         self.failure_threshold = int(failure_threshold)
-        self.cooloff_us = float(cooloff_us)
+        self.cooloff_us = int(cooloff_us)
         self.strikes = 0
         self.open_until_us = 0.0
         self.ejections = 0
@@ -172,7 +176,7 @@ class ClusterStore:
         specs: Mapping[str, TableServingSpec],
         config: Optional[ClusterConfig] = None,
         faults: Optional[FaultSchedule] = None,
-    ):
+    ) -> None:
         if not specs:
             raise ValueError("the cluster needs at least one table spec")
         self.specs = dict(specs)
@@ -197,7 +201,7 @@ class ClusterStore:
     @classmethod
     def from_store(
         cls,
-        store,
+        store: "BandanaStore",
         config: Optional[ClusterConfig] = None,
         faults: Optional[FaultSchedule] = None,
     ) -> "ClusterStore":
@@ -234,7 +238,7 @@ class ClusterStore:
         self._breakers = [
             _CircuitBreaker(
                 self.config.breaker_failure_threshold,
-                self.config.breaker_cooloff_s * 1e6,
+                s_to_us(self.config.breaker_cooloff_s),
             )
             for _ in range(self.config.num_nodes)
         ]

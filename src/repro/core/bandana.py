@@ -26,9 +26,10 @@ actual embedding values when built with an :class:`~repro.embeddings.EmbeddingMo
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.caching.allocation import allocate_dram_budget
 from repro.caching.engine import BatchReplayEngine, replay_table_cache_batched
@@ -55,6 +56,9 @@ from repro.partitioning.recursive_kmeans import RecursiveKMeansPartitioner
 from repro.partitioning.shp import SHPPartitioner
 from repro.workloads.characterization import access_counts
 from repro.workloads.trace import ModelTrace, Trace
+
+if TYPE_CHECKING:
+    from repro.simulation.interleaved import InterleavedStoreReplayer
 
 
 @dataclass
@@ -117,7 +121,7 @@ class BandanaStore:
         config: BandanaConfig,
         tables: Dict[str, BandanaTableState],
         embedding_model: Optional[EmbeddingModel] = None,
-    ):
+    ) -> None:
         self.config = config
         self.tables = tables
         self.embedding_model = embedding_model
@@ -226,7 +230,9 @@ class BandanaStore:
         return cls(config, tables, embedding_model=embedding_model)
 
     # ---------------------------------------------------------------- serving
-    def lookup(self, table_name: str, vector_ids, gather: bool = True) -> Optional[np.ndarray]:
+    def lookup(
+        self, table_name: str, vector_ids: npt.ArrayLike, gather: bool = True
+    ) -> Optional[np.ndarray]:
         """Serve one query against one table.
 
         Runs the cache/prefetch machinery (updating all counters) and returns
@@ -463,7 +469,7 @@ class BandanaStore:
             return self.embedding_model[table_name].gather(ids)
         return None
 
-    def _interleaved_replayer(self):
+    def _interleaved_replayer(self) -> "InterleavedStoreReplayer":
         """The store-wide interleaved request fan-out (created on first use)."""
         if self._request_replayer is None:
             # Imported here: repro.simulation imports this module at package

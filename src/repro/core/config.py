@@ -13,10 +13,13 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 from repro.utils.validation import (
+    check_bool,
     check_fraction,
+    check_instance,
     check_int_at_least,
     check_positive,
     check_probability,
+    check_seed,
 )
 
 #: Ways of splitting the DRAM budget across tables.
@@ -98,6 +101,7 @@ class ServingConfig:
         if self.request_overhead_us < 0:
             raise ValueError("request_overhead_us must be >= 0")
         check_fraction(self.mmpp_burst_fraction, "mmpp_burst_fraction")
+        check_seed(self.seed, "seed")
         if self.arrival_process not in ARRIVAL_PROCESSES:
             raise ValueError(
                 f"arrival_process must be one of {ARRIVAL_PROCESSES}, "
@@ -218,6 +222,8 @@ class ClusterConfig:
                 "retry_backoff_cap_us must be >= retry_backoff_us "
                 f"({self.retry_backoff_cap_us} < {self.retry_backoff_us})"
             )
+        check_bool(self.hedge_enabled, "hedge_enabled")
+        check_seed(self.seed, "seed")
         check_fraction(self.hedge_quantile, "hedge_quantile")
         check_positive(self.hedge_min_us, "hedge_min_us")
         check_positive(self.breaker_slow_threshold_us, "breaker_slow_threshold_us")
@@ -365,6 +371,10 @@ class BandanaConfig:
         check_int_at_least(self.num_workers, 1, "num_workers")
         check_int_at_least(self.chunk_requests, 1, "chunk_requests")
         check_fraction(self.mini_cache_sampling_rate, "mini_cache_sampling_rate")
+        check_bool(self.tune_thresholds, "tune_thresholds")
+        check_seed(self.seed, "seed")
+        check_instance(self.serving, ServingConfig, "serving")
+        check_instance(self.cluster, ClusterConfig, "cluster")
         if self.interleaved_replay and not self.use_batched_engine:
             raise ValueError(
                 "interleaved_replay requires use_batched_engine (the reference "

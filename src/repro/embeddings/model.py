@@ -10,7 +10,7 @@ ids → Bandana lookups → pooled features → score — is exercised for real.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, ItemsView, Iterable, Iterator, List, Mapping, Optional
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from repro.utils.validation import check_positive
 class EmbeddingModel:
     """A named collection of embedding tables (the model's sparse parameters)."""
 
-    def __init__(self, tables: Optional[Mapping[str, EmbeddingTable]] = None):
+    def __init__(self, tables: Optional[Mapping[str, EmbeddingTable]] = None) -> None:
         self._tables: Dict[str, EmbeddingTable] = dict(tables or {})
 
     def add_table(self, table: EmbeddingTable) -> None:
@@ -37,17 +37,17 @@ class EmbeddingModel:
     def __contains__(self, name: str) -> bool:
         return name in self._tables
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._tables)
 
     def __len__(self) -> int:
         return len(self._tables)
 
-    def items(self):
+    def items(self) -> ItemsView[str, EmbeddingTable]:
         return self._tables.items()
 
     @property
-    def table_names(self):
+    def table_names(self) -> List[str]:
         """Names of the registered tables, in insertion order."""
         return list(self._tables)
 
@@ -97,7 +97,7 @@ class RecommendationModel:
         hidden_dims: Iterable[int] = (64, 32),
         dense_dim: int = 16,
         seed: int = 0,
-    ):
+    ) -> None:
         check_positive(dense_dim, "dense_dim")
         self.embedding_model = embedding_model
         self.dense_dim = int(dense_dim)

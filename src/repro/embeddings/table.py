@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.utils.validation import check_array_1d_ints, check_positive
 
@@ -40,9 +41,9 @@ class EmbeddingTable:
         name: str,
         num_vectors: int,
         dim: int = 64,
-        dtype: np.dtype = np.float16,
+        dtype: npt.DTypeLike = np.float16,
         values: Optional[np.ndarray] = None,
-    ):
+    ) -> None:
         check_positive(num_vectors, "num_vectors")
         check_positive(dim, "dim")
         self.name = str(name)
@@ -77,13 +78,13 @@ class EmbeddingTable:
         return self._values
 
     # ----------------------------------------------------------------- access
-    def gather(self, vector_ids) -> np.ndarray:
+    def gather(self, vector_ids: npt.ArrayLike) -> np.ndarray:
         """Return the vectors for the given ids, shape ``(len(ids), dim)``."""
         ids = check_array_1d_ints(vector_ids, "vector_ids")
         self._check_ids(ids)
         return self._values[ids]
 
-    def pooled(self, vector_ids) -> np.ndarray:
+    def pooled(self, vector_ids: npt.ArrayLike) -> np.ndarray:
         """Sum-pool the vectors of one query — the usual sparse-feature reduction."""
         gathered = self.gather(vector_ids)
         if gathered.shape[0] == 0:
@@ -91,7 +92,9 @@ class EmbeddingTable:
         return gathered.astype(np.float32).sum(axis=0)
 
     # ---------------------------------------------------------------- training
-    def update(self, vector_ids, deltas: np.ndarray, learning_rate: float = 1.0) -> None:
+    def update(
+        self, vector_ids: npt.ArrayLike, deltas: np.ndarray, learning_rate: float = 1.0
+    ) -> None:
         """Apply a sparse gradient update (``values[ids] -= lr * deltas``).
 
         Mirrors how training touches only the columns referenced by a data

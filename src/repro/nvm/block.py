@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Iterable
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.utils.validation import check_array_1d_ints, check_positive
 
@@ -29,7 +30,7 @@ class BlockLayout:
         4096 B / 128 B = 32).  The final block may be partially filled.
     """
 
-    def __init__(self, order: Iterable[int], vectors_per_block: int):
+    def __init__(self, order: Iterable[int], vectors_per_block: int) -> None:
         order = check_array_1d_ints(order, "order")
         check_positive(vectors_per_block, "vectors_per_block")
         num_vectors = order.size
@@ -71,19 +72,19 @@ class BlockLayout:
         return cls(np.arange(int(num_vectors), dtype=np.int64), vectors_per_block)
 
     # ----------------------------------------------------------------- queries
-    def block_of(self, vector_ids) -> np.ndarray:
+    def block_of(self, vector_ids: npt.ArrayLike) -> np.ndarray:
         """Block index holding each of the given vector ids."""
         ids = check_array_1d_ints(vector_ids, "vector_ids")
         self._check_ids(ids)
         return self._block_of[ids]
 
-    def slot_of(self, vector_ids) -> np.ndarray:
+    def slot_of(self, vector_ids: npt.ArrayLike) -> np.ndarray:
         """Slot (offset within the block) of each of the given vector ids."""
         ids = check_array_1d_ints(vector_ids, "vector_ids")
         self._check_ids(ids)
         return self._slot_of[ids]
 
-    def position_of(self, vector_ids) -> np.ndarray:
+    def position_of(self, vector_ids: npt.ArrayLike) -> np.ndarray:
         """Physical position of each of the given vector ids."""
         ids = check_array_1d_ints(vector_ids, "vector_ids")
         self._check_ids(ids)
@@ -97,17 +98,17 @@ class BlockLayout:
         stop = min(start + self.vectors_per_block, self.num_vectors)
         return self._order[start:stop]
 
-    def blocks_for_query(self, vector_ids) -> np.ndarray:
+    def blocks_for_query(self, vector_ids: npt.ArrayLike) -> np.ndarray:
         """Distinct blocks that must be read to serve a query (its *fanout*)."""
         if len(vector_ids) == 0:
             return np.empty(0, dtype=np.int64)
         return np.unique(self.block_of(vector_ids))
 
-    def fanout(self, vector_ids) -> int:
+    def fanout(self, vector_ids: npt.ArrayLike) -> int:
         """Number of distinct blocks a query touches."""
         return int(self.blocks_for_query(vector_ids).size)
 
-    def average_fanout(self, queries) -> float:
+    def average_fanout(self, queries: Iterable[npt.ArrayLike]) -> float:
         """Average fanout over a sequence of queries (the SHP objective, Eq. 3)."""
         queries = list(queries)
         if not queries:

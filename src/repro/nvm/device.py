@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.nvm.endurance import EnduranceTracker
 from repro.nvm.latency import NVMLatencyModel
@@ -55,7 +56,7 @@ class NVMDevice:
         latency_model: Optional[NVMLatencyModel] = None,
         dwpd_limit: float = 30.0,
         track_per_block_reads: bool = False,
-    ):
+    ) -> None:
         check_positive(num_blocks, "num_blocks")
         check_positive(block_bytes, "block_bytes")
         self.num_blocks = int(num_blocks)
@@ -110,7 +111,7 @@ class NVMDevice:
             data=self._payloads.get(block_id),
         )
 
-    def read_blocks(self, block_ids, queue_depth: float = 8.0) -> float:
+    def read_blocks(self, block_ids: npt.ArrayLike, queue_depth: float = 8.0) -> float:
         """Read several blocks; returns the total modelled latency in µs.
 
         Reads at the same queue depth overlap on the device, so the modelled

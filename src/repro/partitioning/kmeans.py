@@ -144,7 +144,7 @@ class KMeansPartitioner(Partitioner):
         num_iterations: int = 20,
         seed: int = 0,
         sort_clusters_by_size: bool = False,
-    ):
+    ) -> None:
         check_positive(num_clusters, "num_clusters")
         check_positive(num_iterations, "num_iterations")
         self.num_clusters = int(num_clusters)

@@ -50,7 +50,7 @@ class RecursiveKMeansPartitioner(Partitioner):
         num_sub_clusters: int = 8192,
         num_iterations: int = 20,
         seed: int = 0,
-    ):
+    ) -> None:
         check_positive(num_top_clusters, "num_top_clusters")
         check_positive(num_sub_clusters, "num_sub_clusters")
         check_positive(num_iterations, "num_iterations")

@@ -77,7 +77,7 @@ class SHPPartitioner(Partitioner):
         num_iterations: int = 16,
         seed: int = 0,
         max_queries: Optional[int] = None,
-    ):
+    ) -> None:
         check_positive(vectors_per_block, "vectors_per_block")
         check_positive(num_iterations, "num_iterations")
         if max_queries is not None:

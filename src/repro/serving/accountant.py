@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.nvm.latency import NVMLatencyModel
+from repro.utils.units import s_to_us
 
 
 @dataclass(frozen=True)
@@ -65,11 +66,14 @@ class DeviceLatencyAccountant:
         block_bytes: int,
         max_queue_depth: float = 64.0,
         throughput_window_s: float = 0.05,
-    ):
+    ) -> None:
         self.latency_model = latency_model
         self.block_bytes = int(block_bytes)
         self.max_queue_depth = float(max_queue_depth)
-        self.window_us = float(throughput_window_s) * 1e6
+        # Normalised to *integer* µs at the boundary: 0.05 * 1e6 is
+        # 50000.000000000007 in floats, and window pruning must not depend
+        # on that representation noise.
+        self.window_us = s_to_us(throughput_window_s)
         self.free_at_us = 0.0
         self.records: List[BatchServiceRecord] = []
         # Issue log for the trailing-window throughput measurement and the

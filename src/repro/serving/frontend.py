@@ -39,7 +39,7 @@ from repro.core.config import ServingConfig
 from repro.nvm.latency import NVMLatencyModel
 from repro.serving.accountant import DeviceLatencyAccountant
 from repro.serving.arrivals import arrival_times
-from repro.serving.batcher import form_batches
+from repro.serving.batcher import Batch, form_batches
 from repro.serving.report import LatencySummary, ServingReport, depth_histogram
 from repro.workloads.trace import ModelTrace
 
@@ -198,7 +198,7 @@ def _simulate_cluster_serving(
     cluster: "ClusterStore",
     requests: List[Dict[str, np.ndarray]],
     arrival_us: np.ndarray,
-    batches,
+    batches: List[Batch],
     config: ServingConfig,
 ) -> ServingReport:
     """The cluster-routed serving path (see ``simulate_serving``'s ``cluster``).

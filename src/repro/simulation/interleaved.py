@@ -168,7 +168,7 @@ class InterleavedStoreReplayer:
     throwaway engines inside a replay worker.
     """
 
-    def __init__(self, engines: Mapping[str, BatchReplayEngine]):
+    def __init__(self, engines: Mapping[str, BatchReplayEngine]) -> None:
         self._engines = dict(engines)
 
     @property

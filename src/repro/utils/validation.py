@@ -7,7 +7,7 @@ silently wrong simulation results.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 import numpy as np
 
@@ -67,6 +67,53 @@ def check_int_at_least(value: Any, minimum: int, name: str) -> int:
     if value < minimum:
         raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
     return int(value)
+
+
+def check_bool(value: Any, name: str) -> bool:
+    """Return ``value`` if it is an actual ``bool``, else raise ``TypeError``.
+
+    Feature flags must be real booleans: truthy stand-ins (``1``, ``"no"``)
+    read as configuration typos — ``tune_thresholds="no"`` would silently
+    *enable* tuning.
+    """
+    if not isinstance(value, bool):
+        raise TypeError(
+            f"{name} must be a bool, got {value!r} of type {type(value).__name__}"
+        )
+    return value
+
+
+def check_seed(value: Any, name: str) -> Optional[int]:
+    """Return ``value`` if it is a valid RNG seed (``None`` or an int >= 0).
+
+    ``numpy.random.SeedSequence`` rejects negative entropy, so a negative
+    seed would fail deep inside the first stochastic component instead of at
+    configuration time; floats are rejected because seeds are identities.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(
+            f"{name} must be None or an integer >= 0, got {value!r} "
+            f"of type {type(value).__name__}"
+        )
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return int(value)
+
+
+def check_instance(value: Any, expected: type, name: str) -> Any:
+    """Return ``value`` if it is an instance of ``expected``, else ``TypeError``.
+
+    Used for nested config objects: passing a dict where a ``ServingConfig``
+    belongs would defer the crash to the first attribute access.
+    """
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be a {expected.__name__}, got {value!r} "
+            f"of type {type(value).__name__}"
+        )
+    return value
 
 
 def check_array_1d_ints(values: Any, name: str) -> np.ndarray:

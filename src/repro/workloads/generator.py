@@ -141,7 +141,7 @@ class SyntheticTraceGenerator:
         out_of_rotation_weight: float = 0.005,
         window_queries: Optional[int] = None,
         burstiness: float = 0.6,
-    ):
+    ) -> None:
         check_fraction(topic_affinity, "topic_affinity")
         check_positive(topics_per_query, "topics_per_query")
         check_positive(working_set_multiplier, "working_set_multiplier")
@@ -499,7 +499,7 @@ def build_generators(
     specs: Dict[str, TableSpec],
     seed: int = 0,
     expected_lookups: Optional[Dict[str, int]] = None,
-    **kwargs,
+    **kwargs: object,
 ) -> Dict[str, SyntheticTraceGenerator]:
     """Build one generator per table.
 

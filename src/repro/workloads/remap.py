@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.utils.validation import check_array_1d_ints
 from repro.workloads.trace import ModelTrace, Trace
@@ -34,7 +35,7 @@ class IdRemapper:
     of sparse id ``s`` is its rank among all distinct observed ids.
     """
 
-    def __init__(self, sparse_ids: np.ndarray):
+    def __init__(self, sparse_ids: np.ndarray) -> None:
         sparse_ids = check_array_1d_ints(sparse_ids, "sparse_ids")
         self._sparse = np.unique(sparse_ids)
 
@@ -64,7 +65,7 @@ class IdRemapper:
         return self._sparse
 
     # ----------------------------------------------------------------- mapping
-    def to_dense(self, ids) -> np.ndarray:
+    def to_dense(self, ids: npt.ArrayLike) -> np.ndarray:
         """Map sparse ids to dense ids, raising on ids never observed."""
         ids = check_array_1d_ints(ids, "ids")
         dense = np.searchsorted(self._sparse, ids)
@@ -79,7 +80,7 @@ class IdRemapper:
             )
         return dense
 
-    def to_sparse(self, dense_ids) -> np.ndarray:
+    def to_sparse(self, dense_ids: npt.ArrayLike) -> np.ndarray:
         """Map dense ids back to the original sparse ids."""
         dense_ids = check_array_1d_ints(dense_ids, "dense_ids")
         if dense_ids.size and (

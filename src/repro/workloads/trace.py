@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, ItemsView, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -31,7 +31,7 @@ class Trace:
         ``max(id) + 1``.
     """
 
-    def __init__(self, queries: Iterable[Sequence[int]], num_vectors: Optional[int] = None):
+    def __init__(self, queries: Iterable[Sequence[int]], num_vectors: Optional[int] = None) -> None:
         self._queries: List[np.ndarray] = []
         max_id = -1
         for query in queries:
@@ -62,7 +62,7 @@ class Trace:
     def __iter__(self) -> Iterator[np.ndarray]:
         return iter(self._queries)
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Union[int, slice]) -> Union[np.ndarray, "Trace"]:
         if isinstance(index, slice):
             return Trace(self._queries[index], num_vectors=self.num_vectors)
         return self._queries[index]
@@ -182,7 +182,7 @@ class ModelTrace:
     def __len__(self) -> int:
         return len(self.tables)
 
-    def items(self):
+    def items(self) -> ItemsView[str, Trace]:
         return self.tables.items()
 
     @property

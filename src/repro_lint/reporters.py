@@ -1,0 +1,71 @@
+"""Reporters: render a :class:`~repro_lint.framework.LintResult` for humans or CI.
+
+Two output formats:
+
+* :func:`render_text` — one ``path:line:col: ID [name] message`` line per
+  violation plus a one-line summary, the default CLI output.
+* :func:`render_json` / :func:`to_json_dict` — a stable machine-readable
+  document (schema version :data:`JSON_SCHEMA_VERSION`) for CI annotation
+  tooling; ``tests/test_repro_lint.py`` pins the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro_lint.framework import META_RULE_ID, RULE_REGISTRY, LintResult
+
+#: Bumped whenever the JSON document shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def _rule_name(rule_id: str) -> str:
+    if rule_id == META_RULE_ID:
+        return "suppression-audit"
+    cls = RULE_REGISTRY.get(rule_id)
+    return cls.name if cls is not None else "unknown"
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col + 1}: {v.rule} [{_rule_name(v.rule)}] {v.message}"
+        for v in result.sorted_violations()
+    ]
+    noun = "violation" if len(result.violations) == 1 else "violations"
+    lines.append(
+        f"repro-lint: {len(result.violations)} {noun} in "
+        f"{result.files_checked} files ({result.suppressed} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def to_json_dict(result: LintResult) -> Dict[str, Any]:
+    """The JSON document as a dict (see :data:`JSON_SCHEMA_VERSION`)."""
+    by_rule: Dict[str, int] = {}
+    for violation in result.violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "clean": result.clean,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "violation_counts": dict(sorted(by_rule.items())),
+        "violations": [
+            {
+                "rule": v.rule,
+                "name": _rule_name(v.rule),
+                "path": v.path,
+                "line": v.line,
+                "col": v.col + 1,
+                "message": v.message,
+            }
+            for v in result.sorted_violations()
+        ],
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """The JSON document serialised with stable key order."""
+    return json.dumps(to_json_dict(result), indent=2, sort_keys=False)

@@ -61,7 +61,7 @@ class TestFanout:
 
     def test_average_fanout_empty(self):
         layout = BlockLayout.identity(64, 32)
-        assert layout.average_fanout([]) == 0.0
+        assert layout.average_fanout([]) == pytest.approx(0.0)
 
 
 @given(

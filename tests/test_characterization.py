@@ -35,11 +35,11 @@ class TestCompulsoryMissRate:
         assert compulsory_miss_rate(simple_trace()) == pytest.approx(3 / 5)
 
     def test_empty(self):
-        assert compulsory_miss_rate(Trace([], num_vectors=3)) == 0.0
+        assert compulsory_miss_rate(Trace([], num_vectors=3)) == pytest.approx(0.0)
 
     def test_all_unique(self):
         trace = Trace([[0], [1], [2]], num_vectors=3)
-        assert compulsory_miss_rate(trace) == 1.0
+        assert compulsory_miss_rate(trace) == pytest.approx(1.0)
 
 
 class TestAccessHistogram:

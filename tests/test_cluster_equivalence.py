@@ -53,7 +53,7 @@ class TestSingleNodeEquivalence:
         assert c.retries == c.timeouts == c.link_losses == 0
         assert c.hedges_launched == c.sheds == 0
         assert c.breaker_skips == c.breaker_ejections == c.cold_restarts == 0
-        assert c.availability == 1.0
+        assert c.availability == pytest.approx(1.0)
 
     def test_full_cache_budget_on_single_node(self):
         # The 1-node cluster owns every block of every table, so the scaled

@@ -50,10 +50,10 @@ class TestScheduleQueries:
                 SlowNode(node=0, start_s=0.5, end_s=1.5, multiplier=3.0),
             ]
         )
-        assert faults.latency_multiplier(0, 0.25e6) == 2.0
-        assert faults.latency_multiplier(0, 0.75e6) == 6.0
-        assert faults.latency_multiplier(0, 1.25e6) == 3.0
-        assert faults.latency_multiplier(0, 2.0e6) == 1.0
+        assert faults.latency_multiplier(0, 0.25e6) == pytest.approx(2.0)
+        assert faults.latency_multiplier(0, 0.75e6) == pytest.approx(6.0)
+        assert faults.latency_multiplier(0, 1.25e6) == pytest.approx(3.0)
+        assert faults.latency_multiplier(0, 2.0e6) == pytest.approx(1.0)
 
     def test_link_combines_delay_and_loss(self):
         faults = FaultSchedule(
@@ -63,7 +63,7 @@ class TestScheduleQueries:
             ]
         )
         delay, loss = faults.link(0, 0.5e6)
-        assert delay == 150.0
+        assert delay == pytest.approx(150.0)
         assert loss == pytest.approx(0.75)  # independent drops: 1 - 0.5 * 0.5
 
     def test_link_quiet_outside_window(self):
@@ -85,7 +85,7 @@ class TestScheduleQueries:
         faults = FaultSchedule(())
         assert len(faults) == 0
         assert not faults.is_down(0, 1e6)
-        assert faults.latency_multiplier(0, 1e6) == 1.0
+        assert faults.latency_multiplier(0, 1e6) == pytest.approx(1.0)
         assert faults.link(0, 1e6) == (0.0, 0.0)
 
 
@@ -106,8 +106,8 @@ class TestScenarioCatalog:
         faults = make_scenario(
             "slow_node", num_nodes=4, start_s=0.1, duration_s=0.2, node=2, multiplier=5.0
         )
-        assert faults.latency_multiplier(2, 0.2e6) == 5.0
-        assert faults.latency_multiplier(2, 0.05e6) == 1.0
+        assert faults.latency_multiplier(2, 0.2e6) == pytest.approx(5.0)
+        assert faults.latency_multiplier(2, 0.05e6) == pytest.approx(1.0)
 
     def test_unknown_overrides_ignored(self):
         # One sweep loop drives every scenario with a shared parameter set;

@@ -46,7 +46,7 @@ class TestReplicationSurvivesCrash:
         # The acceptance criterion: with R=2, one crashed node costs
         # latency (timeouts + retries) but zero availability.
         report = run(1, "crash_recover", ClusterConfig(num_nodes=4, replication=2))
-        assert report.availability == 1.0
+        assert report.availability == pytest.approx(1.0)
         assert report.counters.requests_degraded == 0
         assert report.counters.timeouts > 0
         assert report.counters.retries > 0
@@ -74,7 +74,7 @@ class TestReplicationSurvivesCrash:
             overrides=dict(start_s=0.002, duration_s=0.01),
         )
         assert report.counters.cold_restarts >= 1
-        assert report.availability == 1.0
+        assert report.availability == pytest.approx(1.0)
 
 
 class TestSlowNodesAndHedging:
@@ -82,7 +82,7 @@ class TestSlowNodesAndHedging:
         report = run(1, "slow_node", ClusterConfig(num_nodes=4, replication=2))
         assert report.counters.hedges_launched > 0
         assert report.counters.hedges_won > 0
-        assert report.availability == 1.0
+        assert report.availability == pytest.approx(1.0)
 
     def test_hedging_can_be_disabled(self):
         report = run(
@@ -106,7 +106,7 @@ class TestSlowNodesAndHedging:
         report = run_scenario(store, trace, scenario=faults, cluster_config=config)
         assert report.counters.breaker_ejections > 0
         assert report.counters.breaker_skips > 0
-        assert report.availability == 1.0
+        assert report.availability == pytest.approx(1.0)
 
 
 class TestFlakyLinks:
@@ -119,7 +119,7 @@ class TestFlakyLinks:
         )
         assert report.counters.link_losses > 0
         assert report.counters.retries >= report.counters.link_losses
-        assert report.availability == 1.0
+        assert report.availability == pytest.approx(1.0)
 
     def test_loss_draws_are_seeded(self):
         config = ClusterConfig(num_nodes=4, replication=2, seed=7)
@@ -156,8 +156,8 @@ class TestAdmissionControl:
         config = ClusterConfig(
             default_slo_us=1000.0, table_slo_us=(("t-shadow", 250.0),)
         )
-        assert config.slo_us("t-shadow") == 250.0
-        assert config.slo_us("t-noprefetch") == 1000.0
+        assert config.slo_us("t-shadow") == pytest.approx(250.0)
+        assert config.slo_us("t-noprefetch") == pytest.approx(1000.0)
 
 
 class TestDegradedCluster:
@@ -185,7 +185,7 @@ class TestDegradedCluster:
             "flaky_link",
             "degraded_cluster",
         }
-        assert reports["none"].availability == 1.0
+        assert reports["none"].availability == pytest.approx(1.0)
         for report in reports.values():
             assert report.num_requests == 50
             assert report.to_dict()["counters"]["requests_total"] == 50

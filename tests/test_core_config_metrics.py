@@ -55,8 +55,8 @@ class TestCacheStats:
 
     def test_zero_lookups(self):
         stats = CacheStats(0, 0, 0, 0, 0, 0, 0)
-        assert stats.hit_rate == 0.0
-        assert stats.prefetch_accuracy == 0.0
+        assert stats.hit_rate == pytest.approx(0.0)
+        assert stats.prefetch_accuracy == pytest.approx(0.0)
 
 
 class TestEffectiveBandwidth:
@@ -70,7 +70,7 @@ class TestEffectiveBandwidth:
         assert candidate.increase_over(baseline) == pytest.approx(1.0)
 
     def test_zero_nvm_bytes(self):
-        assert EffectiveBandwidth(10, 0).fraction == 0.0
+        assert EffectiveBandwidth(10, 0).fraction == pytest.approx(0.0)
 
     def test_from_replay(self):
         replay = ReplayStats(vector_bytes=128, block_bytes=4096, lookups=10, misses=2)
@@ -146,8 +146,8 @@ class TestConfigKnobValidation:
 
     def test_cluster_table_slo_lookup(self):
         config = ClusterConfig(default_slo_us=900.0, table_slo_us=(("hot", 100.0),))
-        assert config.slo_us("hot") == 100.0
-        assert config.slo_us("cold") == 900.0
+        assert config.slo_us("hot") == pytest.approx(100.0)
+        assert config.slo_us("cold") == pytest.approx(900.0)
 
     def test_bandana_carries_cluster_config(self):
         config = BandanaConfig(cluster=ClusterConfig(num_nodes=8, replication=3))

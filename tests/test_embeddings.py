@@ -50,7 +50,7 @@ class TestEmbeddingTable:
     def test_set_values(self):
         table = EmbeddingTable("t", 2, dim=2, dtype=np.float32)
         table.set_values(np.full((2, 2), 7.0))
-        assert float(table.values[0, 0]) == 7.0
+        assert float(table.values[0, 0]) == pytest.approx(7.0)
 
 
 class TestSynthesis:

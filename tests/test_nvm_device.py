@@ -159,7 +159,7 @@ class TestEnduranceTracker:
     def test_no_time_means_no_violation(self):
         tracker = EnduranceTracker(capacity_bytes=1000)
         tracker.record_write(10**9)
-        assert tracker.drive_writes_per_day == 0.0
+        assert tracker.drive_writes_per_day == pytest.approx(0.0)
         assert tracker.within_budget
 
     def test_reset(self):

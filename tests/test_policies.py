@@ -20,7 +20,7 @@ class TestSimplePolicies:
         assert policy.admit(5) is None
 
     def test_cache_all_admits_at_top(self):
-        assert CacheAllBlockPolicy().admit(5) == 0.0
+        assert CacheAllBlockPolicy().admit(5) == pytest.approx(0.0)
 
     def test_insert_at_position(self):
         policy = InsertAtPositionPolicy(position=0.7)
@@ -36,7 +36,7 @@ class TestShadowAdmissionPolicy:
         policy = ShadowAdmissionPolicy(real_cache_size=4, multiplier=1.0)
         assert policy.admit(1) is None
         policy.record_access(1)
-        assert policy.admit(1) == 0.0
+        assert policy.admit(1) == pytest.approx(0.0)
 
     def test_reset_clears_shadow(self):
         policy = ShadowAdmissionPolicy(real_cache_size=4)
@@ -50,7 +50,7 @@ class TestCombinedPolicy:
         policy = CombinedPolicy(real_cache_size=4, position=0.5, multiplier=1.0)
         assert policy.admit(1) == pytest.approx(0.5)
         policy.record_access(1)
-        assert policy.admit(1) == 0.0
+        assert policy.admit(1) == pytest.approx(0.0)
 
 
 class TestAccessThresholdPolicy:
@@ -59,7 +59,7 @@ class TestAccessThresholdPolicy:
         policy = AccessThresholdPolicy(counts, threshold=5)
         assert policy.admit(0) is None
         assert policy.admit(1) is None      # strictly greater than t
-        assert policy.admit(2) == 0.0
+        assert policy.admit(2) == pytest.approx(0.0)
 
     def test_out_of_range_vector_rejected(self):
         policy = AccessThresholdPolicy(np.array([10]), threshold=1)
@@ -68,7 +68,7 @@ class TestAccessThresholdPolicy:
     def test_threshold_zero_admits_any_accessed_vector(self):
         policy = AccessThresholdPolicy(np.array([0, 1]), threshold=0)
         assert policy.admit(0) is None
-        assert policy.admit(1) == 0.0
+        assert policy.admit(1) == pytest.approx(0.0)
 
     def test_negative_threshold_rejected(self):
         with pytest.raises(ValueError):

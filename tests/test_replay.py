@@ -113,8 +113,8 @@ class TestReplayStatsDerived:
 
     def test_zero_reads(self):
         stats = ReplayStats()
-        assert stats.effective_bandwidth == 0.0
-        assert stats.hit_rate == 0.0
+        assert stats.effective_bandwidth == pytest.approx(0.0)
+        assert stats.hit_rate == pytest.approx(0.0)
 
     def test_merge(self):
         a = ReplayStats(lookups=10, hits=5, misses=5)
@@ -135,11 +135,11 @@ class TestEffectiveBandwidthIncrease:
 
     def test_equal_reads_is_zero(self):
         stats = ReplayStats(misses=10)
-        assert effective_bandwidth_increase(stats, stats) == 0.0
+        assert effective_bandwidth_increase(stats, stats) == pytest.approx(0.0)
 
     def test_worse_candidate_is_negative(self):
         assert effective_bandwidth_increase(ReplayStats(misses=10), ReplayStats(misses=20)) < 0
 
     def test_zero_candidate_reads(self):
-        assert effective_bandwidth_increase(ReplayStats(misses=0), ReplayStats(misses=0)) == 0.0
+        assert effective_bandwidth_increase(ReplayStats(misses=0), ReplayStats(misses=0)) == pytest.approx(0.0)
         assert effective_bandwidth_increase(ReplayStats(misses=5), ReplayStats(misses=0)) == float("inf")

@@ -1,0 +1,426 @@
+"""Tests for the ``repro_lint`` static-analysis framework and its rules.
+
+Each rule gets a *catching* fixture (known-bad code the rule must flag) and a
+*passing* fixture (idiomatic code the rule must leave alone), so a regression
+in either direction — rules going blind or rules going trigger-happy — fails
+loudly.  The framework itself (suppressions, the meta rule, the reporters,
+the file walker and the CLI) is covered alongside, and a final self-check
+lints the real ``src`` tree.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro_lint import (
+    JSON_SCHEMA_VERSION,
+    META_RULE_ID,
+    FileContext,
+    all_rules,
+    known_rule_ids,
+    lint_paths,
+    lint_source,
+    render_text,
+    to_json_dict,
+)
+from repro_lint.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SRC_PATH = "src/repro/caching/example.py"  # a simulated-clock module
+TEST_PATH = "tests/test_example.py"
+
+
+def rule_ids(result):
+    return sorted(v.rule for v in result.violations)
+
+
+# --------------------------------------------------------------------- registry
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        # R0 is the framework's own suppression-audit meta rule; R1-R5 are
+        # the AST rules.  All six ids are valid in disable= comments.
+        assert known_rule_ids() == {"R0", "R1", "R2", "R3", "R4", "R5"}
+
+    def test_meta_rule_is_reserved(self):
+        assert META_RULE_ID == "R0"
+        assert META_RULE_ID not in {rule.id for rule in all_rules()}
+
+    def test_rules_carry_rationale(self):
+        for rule in all_rules():
+            assert rule.rationale, f"{rule.id} has no rationale"
+
+
+# ----------------------------------------------------------------- R1 fixtures
+class TestBareRandomState:
+    def test_catches_np_random_module_functions(self):
+        bad = "import numpy as np\nids = np.random.randint(0, 10, size=4)\n"
+        result = lint_source(bad, SRC_PATH)
+        assert rule_ids(result) == ["R1"]
+
+    def test_catches_np_random_seed(self):
+        result = lint_source("import numpy as np\nnp.random.seed(0)\n", SRC_PATH)
+        assert rule_ids(result) == ["R1"]
+
+    def test_catches_stdlib_random_module_state(self):
+        # Both the import site and the use site are flagged.
+        result = lint_source("import random\nx = random.random()\n", SRC_PATH)
+        assert rule_ids(result) == ["R1", "R1"]
+
+    def test_catches_aliased_import(self):
+        bad = "import numpy.random as npr\nx = npr.rand(3)\n"
+        result = lint_source(bad, SRC_PATH)
+        assert rule_ids(result) == ["R1"]
+
+    def test_allows_explicit_generators(self):
+        good = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(7)\n"
+            "gen = np.random.Generator(np.random.PCG64(3))\n"
+        )
+        assert lint_source(good, SRC_PATH).clean
+
+    def test_allows_stdlib_random_instances(self):
+        # Explicitly seeded Random instances are fine; the bare-module import
+        # is what carries the global state, so the instance must come in via
+        # a from-import.
+        good = "from random import Random\nrng = Random(11)\nx = rng.random()\n"
+        assert lint_source(good, SRC_PATH).clean
+
+    def test_rng_home_module_is_exempt(self):
+        bad = "import numpy as np\nnp.random.seed(0)\n"
+        assert lint_source(bad, "src/repro/utils/rng.py").clean
+        # ... but only that module.
+        assert not lint_source(bad, "src/repro/utils/validation.py").clean
+
+
+# ----------------------------------------------------------------- R2 fixtures
+class TestWallClock:
+    def test_catches_time_time_in_sim_module(self):
+        bad = "import time\nnow = time.time()\n"
+        result = lint_source(bad, SRC_PATH)
+        assert rule_ids(result) == ["R2"]
+
+    def test_catches_from_import_alias(self):
+        # Import site and aliased call site are both flagged.
+        bad = "from time import perf_counter as pc\nstart = pc()\n"
+        result = lint_source(bad, SRC_PATH)
+        assert rule_ids(result) == ["R2", "R2"]
+
+    def test_catches_datetime_now(self):
+        bad = "import datetime\nstamp = datetime.datetime.now()\n"
+        result = lint_source(bad, SRC_PATH)
+        assert rule_ids(result) == ["R2"]
+
+    def test_partitioning_package_is_allowlisted(self):
+        # Partitioning runtime is measured wall-clock by design (the paper's
+        # placement cost is real compute, not simulated time).
+        good = "import time\nstart = time.perf_counter()\n"
+        assert lint_source(good, "src/repro/partitioning/kmeans.py").clean
+
+    def test_non_repro_files_are_out_of_scope(self):
+        ok = "import time\nnow = time.time()\n"
+        assert lint_source(ok, "benchmarks/bench_example.py").clean
+        assert lint_source(ok, TEST_PATH).clean
+
+
+# ----------------------------------------------------------------- R3 fixtures
+class TestTimeUnitMix:
+    def test_catches_us_assigned_from_seconds(self):
+        result = lint_source("timeout_us = window_s\n", SRC_PATH)
+        assert rule_ids(result) == ["R3"]
+
+    def test_catches_keyword_argument_mismatch(self):
+        result = lint_source("run(timeout_us=window_s)\n", SRC_PATH)
+        assert rule_ids(result) == ["R3"]
+
+    def test_allows_explicit_conversion_call(self):
+        good = (
+            "from repro.utils.units import s_to_us\n"
+            "timeout_us = s_to_us(window_s)\n"
+        )
+        assert lint_source(good, SRC_PATH).clean
+
+    def test_allows_arithmetic_conversion(self):
+        assert lint_source("timeout_us = window_s * 1_000_000\n", SRC_PATH).clean
+
+    def test_allows_same_unit_assignment(self):
+        assert lint_source("timeout_us = other_us\n", SRC_PATH).clean
+
+
+# ----------------------------------------------------------------- R4 fixtures
+class TestUnvalidatedConfigField:
+    def test_catches_unreferenced_field(self):
+        bad = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class ServingConfig:\n"
+            "    batch_size: int = 8\n"
+            "    linger_us: float = 50.0\n"
+            "    def __post_init__(self):\n"
+            "        check_positive(self.batch_size, 'batch_size')\n"
+        )
+        result = lint_source(bad, "src/repro/core/config.py")
+        assert rule_ids(result) == ["R4"]
+        assert "linger_us" in result.violations[0].message
+
+    def test_catches_missing_validator_entirely(self):
+        bad = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class ClusterConfig:\n"
+            "    num_nodes: int = 4\n"
+        )
+        result = lint_source(bad, "src/repro/core/config.py")
+        assert rule_ids(result) == ["R4"]
+
+    def test_passes_when_every_field_is_checked(self):
+        good = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class ServingConfig:\n"
+            "    batch_size: int = 8\n"
+            "    def __post_init__(self):\n"
+            "        check_positive(self.batch_size, 'batch_size')\n"
+        )
+        assert lint_source(good, "src/repro/core/config.py").clean
+
+    def test_object_setattr_counts_as_reference(self):
+        good = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class ClusterConfig:\n"
+            "    seed: int = 0\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'seed', check_seed(self.seed, 'seed'))\n"
+        )
+        assert lint_source(good, "src/repro/core/config.py").clean
+
+    def test_classvar_fields_are_ignored(self):
+        good = (
+            "from dataclasses import dataclass\n"
+            "from typing import ClassVar\n"
+            "@dataclass\n"
+            "class BandanaConfig:\n"
+            "    kind: ClassVar[str] = 'bandana'\n"
+            "    def __post_init__(self):\n"
+            "        pass\n"
+        )
+        assert lint_source(good, "src/repro/core/config.py").clean
+
+    def test_other_class_names_are_out_of_scope(self):
+        ok = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class SomeOtherConfig:\n"
+            "    knob: int = 1\n"
+        )
+        assert lint_source(ok, "src/repro/core/config.py").clean
+
+
+# ----------------------------------------------------------------- R5 fixtures
+class TestFloatEquality:
+    def test_catches_float_literal_equality(self):
+        result = lint_source("assert report.hit_rate == 0.5\n", TEST_PATH)
+        assert rule_ids(result) == ["R5"]
+
+    def test_catches_negated_float_literal(self):
+        result = lint_source("assert delta != -0.25\n", TEST_PATH)
+        assert rule_ids(result) == ["R5"]
+
+    def test_allows_pytest_approx(self):
+        good = (
+            "import pytest\n"
+            "def test_x():\n"
+            "    assert report.hit_rate == pytest.approx(0.5)\n"
+        )
+        assert lint_source(good, TEST_PATH).clean
+
+    def test_allows_integer_equality(self):
+        assert lint_source("assert count == 3\n", TEST_PATH).clean
+
+    def test_only_applies_to_tests(self):
+        src = "ok = value == 0.5\n"
+        assert lint_source(src, SRC_PATH).clean
+        assert not lint_source(src, TEST_PATH).clean
+
+
+# --------------------------------------------------------------- suppressions
+class TestSuppressions:
+    def test_disable_comment_suppresses_violation(self):
+        src = "import time\nnow = time.time()  # repro-lint: disable=R2\n"
+        result = lint_source(src, SRC_PATH)
+        assert result.clean
+        assert result.suppressed == 1
+
+    def test_disable_comment_is_rule_scoped(self):
+        # The comment names R1 but the violation is R2: not suppressed, and
+        # the unused R1 suppression is itself reported.
+        src = "import time\nnow = time.time()  # repro-lint: disable=R1\n"
+        result = lint_source(src, SRC_PATH)
+        assert rule_ids(result) == [META_RULE_ID, "R2"]
+
+    def test_multiple_rules_in_one_comment(self):
+        src = (
+            "import random  # repro-lint: disable=R1\n"
+            "def test_x():\n"
+            "    assert random.random() == 0.5  # repro-lint: disable=R1,R5\n"
+        )
+        result = lint_source(src, TEST_PATH)
+        assert result.clean
+        assert result.suppressed == 3
+
+    def test_unused_suppression_is_reported(self):
+        src = "x = 1  # repro-lint: disable=R5\n"
+        result = lint_source(src, TEST_PATH)
+        assert rule_ids(result) == [META_RULE_ID]
+        assert "unused suppression" in result.violations[0].message
+
+    def test_unknown_rule_id_is_reported(self):
+        src = "x = 1  # repro-lint: disable=R99\n"
+        result = lint_source(src, SRC_PATH)
+        assert rule_ids(result) == [META_RULE_ID]
+        assert "R99" in result.violations[0].message
+
+
+# ------------------------------------------------------------------ reporters
+class TestReporters:
+    def _dirty_result(self):
+        return lint_source("import time\nnow = time.time()\n", SRC_PATH)
+
+    def test_text_report_format(self):
+        text = render_text(self._dirty_result())
+        assert f"{SRC_PATH}:2:" in text
+        assert "R2" in text
+        assert "repro-lint: 1 violation in 1 files (0 suppressed)" in text
+
+    def test_json_schema(self):
+        doc = to_json_dict(self._dirty_result())
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION
+        assert doc["clean"] is False
+        assert doc["files_checked"] == 1
+        assert doc["suppressed"] == 0
+        assert doc["violation_counts"] == {"R2": 1}
+        (violation,) = doc["violations"]
+        assert set(violation) == {"rule", "name", "path", "line", "col", "message"}
+        assert violation["rule"] == "R2"
+        assert violation["name"] == "wall-clock"
+        assert violation["path"] == SRC_PATH
+        assert violation["line"] == 2
+
+    def test_json_round_trips(self):
+        from repro_lint import render_json
+
+        doc = json.loads(render_json(self._dirty_result()))
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION
+
+
+# ---------------------------------------------------------------- file walker
+class TestWalkerAndPaths:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "caching"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import time\nnow = time.time()\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        (pkg / "__pycache__").mkdir()
+        (pkg / "__pycache__" / "bad.py").write_text("import time\nt = time.time()\n")
+        result = lint_paths(["src"], root=tmp_path)
+        assert result.files_checked == 2  # __pycache__ skipped
+        assert rule_ids(result) == ["R2"]
+        assert result.violations[0].path == "src/repro/caching/bad.py"
+
+    def test_syntax_error_becomes_meta_violation(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def oops(:\n")
+        result = lint_paths([str(bad)], root=tmp_path)
+        assert rule_ids(result) == [META_RULE_ID]
+        assert "does not parse" in result.violations[0].message
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["no/such/dir"], root=tmp_path)
+
+
+# ------------------------------------------------------------------------ CLI
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["--root", str(tmp_path), "ok.py"]) == 0
+
+    def test_exit_one_on_violations(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nnow = time.time()\n")
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "sim.py").write_text("import time\nnow = time.time()\n")
+        assert main(["--root", str(tmp_path), "src"]) == 1
+        assert "R2" in capsys.readouterr().out
+
+    def test_exit_two_on_usage_error(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path)]) == 2
+        assert main(["--root", str(tmp_path), "nope"]) == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "sim.py").write_text("import time\nnow = time.time()\n")
+        assert main(["--root", str(tmp_path), "--json", "src"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION
+        assert doc["violation_counts"] == {"R2": 1}
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in sorted(known_rule_ids() - {META_RULE_ID}):
+            assert rule_id in out
+
+    def test_module_entry_point(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro_lint", "--root", str(tmp_path), "ok.py"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+# ------------------------------------------------------------- import tracking
+class TestFileContext:
+    def test_module_resolution(self):
+        ctx = FileContext("x", "pass", rel_path="src/repro/caching/engine.py")
+        assert ctx.module == "repro.caching.engine"
+        assert not ctx.is_test
+
+    def test_test_detection(self):
+        ctx = FileContext("x", "pass", rel_path="tests/test_engine.py")
+        assert ctx.module is None
+        assert ctx.is_test
+
+    def test_dotted_name_expands_aliases(self):
+        ctx = FileContext(
+            "x",
+            "import numpy as np\nfrom time import perf_counter as pc\n",
+            rel_path=SRC_PATH,
+        )
+        import ast as ast_mod
+
+        node = ast_mod.parse("np.random.seed").body[0].value
+        assert ctx.dotted_name(node) == "numpy.random.seed"
+        node = ast_mod.parse("pc").body[0].value
+        assert ctx.dotted_name(node) == "time.perf_counter"
+
+
+# ------------------------------------------------------------------ self-check
+class TestRepoSelfCheck:
+    def test_repo_is_lint_clean(self):
+        result = lint_paths(["src", "tests", "benchmarks"], root=REPO_ROOT)
+        assert result.files_checked > 50
+        dirty = "\n".join(
+            f"{v.path}:{v.line} {v.rule} {v.message}"
+            for v in result.sorted_violations()
+        )
+        assert result.clean, f"repo must be repro-lint clean:\n{dirty}"

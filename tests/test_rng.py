@@ -3,12 +3,11 @@
 Every stochastic component in the package takes an explicit seed or
 :class:`numpy.random.Generator` (arrivals, fault-schedule loss draws,
 partitioners, synthetic embeddings); nothing draws from numpy's global
-stream.  The audit test enforces that at the source level so a regression
-cannot slip in silently.
+stream.  The source-level audit lives in ``repro_lint`` rule R1 (run
+repo-wide by ``tests/test_static_analysis.py``); here we keep a regression
+test that R1 actually catches the known-bad patterns the old regex audit
+used to hunt for.
 """
-
-import re
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -16,16 +15,6 @@ import pytest
 from repro.core.config import ServingConfig
 from repro.serving.arrivals import arrival_times
 from repro.utils.rng import derive_rng, ensure_rng
-
-SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
-
-#: The only sanctioned ways to touch ``np.random``: constructing explicit
-#: generators and type references.  Everything else (``np.random.seed``,
-#: ``np.random.rand``, ``RandomState``, ...) is hidden global state.
-ALLOWED_NP_RANDOM = re.compile(
-    r"np\.random\.(default_rng|Generator|SeedSequence)\b"
-)
-NP_RANDOM_USE = re.compile(r"np\.random\.\w+")
 
 
 class TestEnsureRng:
@@ -77,24 +66,27 @@ class TestArrivalsAcceptGenerators:
         np.testing.assert_array_equal(via_seed, via_int)
 
 
-class TestNoHiddenGlobalRandomness:
-    def test_src_tree_has_no_global_np_random_use(self):
-        offenders = []
-        for path in sorted(SRC_ROOT.rglob("*.py")):
-            for lineno, line in enumerate(path.read_text().splitlines(), 1):
-                for match in NP_RANDOM_USE.finditer(line):
-                    if not ALLOWED_NP_RANDOM.match(match.group(0)):
-                        offenders.append(f"{path.relative_to(SRC_ROOT)}:{lineno}: {line.strip()}")
-        assert not offenders, (
-            "global numpy randomness in src/ (pass an explicit Generator "
-            "instead):\n" + "\n".join(offenders)
-        )
+class TestLintCatchesHiddenGlobalRandomness:
+    """The repro-lint R1 rule replaced this file's old regex source audit.
 
-    def test_no_stdlib_random_module(self):
-        # `import random` is the same hazard with a different spelling.
-        offenders = [
-            str(path.relative_to(SRC_ROOT))
-            for path in sorted(SRC_ROOT.rglob("*.py"))
-            if re.search(r"^\s*(import random\b|from random import)", path.read_text(), re.M)
-        ]
-        assert not offenders, f"stdlib random used in src/: {offenders}"
+    These fixtures are the exact patterns the regex audit existed to catch;
+    if R1 ever goes blind to them, this test — not just the linter's own
+    suite — fails.
+    """
+
+    def test_r1_catches_global_np_random(self):
+        from repro_lint import lint_source
+
+        known_bad = (
+            "import numpy as np\n"
+            "np.random.seed(1234)\n"
+            "ids = np.random.randint(0, 100, size=8)\n"
+        )
+        result = lint_source(known_bad, "src/repro/workloads/example.py")
+        assert [v.rule for v in result.violations] == ["R1", "R1"]
+
+    def test_r1_catches_stdlib_random_import(self):
+        from repro_lint import lint_source
+
+        result = lint_source("import random\n", "src/repro/workloads/example.py")
+        assert [v.rule for v in result.violations] == ["R1"]

@@ -143,15 +143,15 @@ class TestDynamicBatcher:
         arrivals = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
         batches = form_batches(arrivals, max_batch_requests=4, max_linger_us=100.0)
         assert [(b.start, b.stop) for b in batches] == [(0, 4), (4, 6)]
-        assert batches[0].dispatch_us == 3.0  # arrival of the filling request
-        assert batches[1].dispatch_us == 104.0  # linger from request 4
+        assert batches[0].dispatch_us == pytest.approx(3.0)  # arrival of the filling request
+        assert batches[1].dispatch_us == pytest.approx(104.0)  # linger from request 4
 
     def test_linger_cutoff_dispatches_partial_batch_at_deadline(self):
         arrivals = np.array([0.0, 10.0, 500.0])
         batches = form_batches(arrivals, max_batch_requests=8, max_linger_us=50.0)
         assert [(b.start, b.stop) for b in batches] == [(0, 2), (2, 3)]
-        assert batches[0].dispatch_us == 50.0
-        assert batches[1].dispatch_us == 550.0
+        assert batches[0].dispatch_us == pytest.approx(50.0)
+        assert batches[1].dispatch_us == pytest.approx(550.0)
 
     def test_arrival_exactly_at_deadline_is_included(self):
         arrivals = np.array([0.0, 50.0, 51.0])
@@ -189,9 +189,9 @@ class TestDeviceLatencyAccountant:
     def test_zero_read_batch_skips_the_device(self):
         acc = self.make()
         record = acc.serve_batch(100.0, 0)
-        assert record.completion_us == 100.0
-        assert record.read_latency_us == 0.0
-        assert acc.free_at_us == 0.0
+        assert record.completion_us == pytest.approx(100.0)
+        assert record.read_latency_us == pytest.approx(0.0)
+        assert acc.free_at_us == pytest.approx(0.0)
 
     def test_fifo_serialisation_under_backlog(self):
         acc = self.make()

@@ -29,7 +29,7 @@ class TestSimulateTable:
             eval_trace, shp_layout, NoPrefetchPolicy(), cache_size=100, include_baseline=False
         )
         assert result.baseline_stats is None
-        assert result.bandwidth_increase == 0.0
+        assert result.bandwidth_increase == pytest.approx(0.0)
 
     def test_shp_unlimited_cache_beats_identity(self, small_spec, eval_trace, shp_layout):
         """Reproduces the core of Figure 9: SHP placement increases effective

@@ -119,7 +119,7 @@ class TestHitRateCurve:
     def test_interpolation_and_hits(self):
         curve = HitRateCurve(np.array([10, 20]), np.array([0.2, 0.4]), total_lookups=100)
         assert curve.hit_rate_at(15) == pytest.approx(0.3)
-        assert curve.hit_rate_at(0) == 0.0
+        assert curve.hit_rate_at(0) == pytest.approx(0.0)
         assert curve.hit_rate_at(100) == pytest.approx(0.4)  # clamps right
         assert curve.hits_at(20) == pytest.approx(40)
 

@@ -17,7 +17,7 @@ class TestTraceBasics:
         trace = make_trace()
         assert len(trace) == 3
         assert trace.num_lookups == 6
-        assert trace.avg_lookups_per_query == 2.0
+        assert trace.avg_lookups_per_query == pytest.approx(2.0)
 
     def test_empty_queries_dropped(self):
         trace = Trace([[1, 2], [], [3]], num_vectors=5)
@@ -57,7 +57,7 @@ class TestTraceBasics:
     def test_empty_trace(self):
         trace = Trace([], num_vectors=4)
         assert trace.num_lookups == 0
-        assert trace.avg_lookups_per_query == 0.0
+        assert trace.avg_lookups_per_query == pytest.approx(0.0)
         assert trace.flatten().size == 0
         assert trace.unique_vectors().size == 0
 

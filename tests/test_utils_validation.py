@@ -5,18 +5,21 @@ import pytest
 
 from repro.utils.validation import (
     check_array_1d_ints,
+    check_bool,
     check_fraction,
     check_in_range,
+    check_instance,
     check_int_at_least,
     check_non_negative,
     check_positive,
     check_probability,
+    check_seed,
 )
 
 
 class TestCheckPositive:
     def test_accepts_positive(self):
-        assert check_positive(3.5, "x") == 3.5
+        assert check_positive(3.5, "x") == pytest.approx(3.5)
 
     @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
     def test_rejects_non_positive_and_non_finite(self, value):
@@ -45,7 +48,7 @@ class TestCheckInRange:
 
 class TestCheckFraction:
     def test_accepts_half(self):
-        assert check_fraction(0.5, "x") == 0.5
+        assert check_fraction(0.5, "x") == pytest.approx(0.5)
 
     def test_rejects_above_one(self):
         with pytest.raises(ValueError):
@@ -75,8 +78,8 @@ class TestCheckArray1dInts:
 
 class TestCheckProbability:
     def test_accepts_bounds(self):
-        assert check_probability(0.0, "p") == 0.0
-        assert check_probability(1.0, "p") == 1.0
+        assert check_probability(0.0, "p") == pytest.approx(0.0)
+        assert check_probability(1.0, "p") == pytest.approx(1.0)
 
     @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
     def test_rejects_outside_unit_interval(self, value):
@@ -102,3 +105,53 @@ class TestCheckIntAtLeast:
         # bool is an int subclass; True silently meaning 1 hides bugs.
         with pytest.raises(TypeError):
             check_int_at_least(True, 1, "x")
+
+
+class TestCheckBool:
+    @pytest.mark.parametrize("value", [True, False])
+    def test_accepts_and_returns_real_bools(self, value):
+        assert check_bool(value, "flag") is value
+
+    @pytest.mark.parametrize("value", [1, 0, "no", None, 1.0])
+    def test_rejects_truthy_stand_ins(self, value):
+        # `tune_thresholds="no"` would silently *enable* tuning.
+        with pytest.raises(TypeError, match="flag"):
+            check_bool(value, "flag")
+
+
+class TestCheckSeed:
+    def test_none_passes_through(self):
+        assert check_seed(None, "seed") is None
+
+    def test_returns_plain_int(self):
+        out = check_seed(np.int64(7), "seed")
+        assert out == 7 and type(out) is int
+        assert check_seed(0, "seed") == 0
+
+    @pytest.mark.parametrize("value", [1.0, "3", True])
+    def test_rejects_non_integer_identities(self, value):
+        with pytest.raises(TypeError, match="seed"):
+            check_seed(value, "seed")
+
+    def test_rejects_negative(self):
+        # SeedSequence rejects negative entropy; fail at config time instead.
+        with pytest.raises(ValueError, match="seed"):
+            check_seed(-1, "seed")
+
+
+class TestCheckInstance:
+    def test_accepts_instances_including_subclasses(self):
+        class Base:
+            pass
+
+        class Sub(Base):
+            pass
+
+        obj = Sub()
+        assert check_instance(obj, Base, "cfg") is obj
+
+    def test_rejects_wrong_type_naming_the_knob(self):
+        # Passing a plain dict where a config object belongs would defer the
+        # crash to the first attribute access.
+        with pytest.raises(TypeError, match="serving must be a tuple"):
+            check_instance({"batch_size": 8}, tuple, "serving")
