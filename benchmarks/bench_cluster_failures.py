@@ -39,7 +39,12 @@ import sys
 from benchmarks.common import build_table_workload, save_result
 from repro.cluster import run_scenario
 from repro.core.bandana import BandanaStore
-from repro.core.config import BandanaConfig, ClusterConfig, ServingConfig
+from repro.core.config import (
+    BandanaConfig,
+    ClusterConfig,
+    ServingConfig,
+    TracingConfig,
+)
 from repro.simulation.report import format_table
 from repro.workloads import scaled_table_specs
 from repro.workloads.trace import ModelTrace
@@ -54,6 +59,9 @@ REPLICATION = 2
 #: every fault row's cost is attributable to the fault, not to overload.
 ARRIVAL_RATE_RPS = 800.0
 SLO_LATENCY_US = 2000.0
+#: Slow requests whose per-stage breakdown (repro.tracing) each scenario row
+#: carries in the artifact — the "why" behind its p999-vs-healthy ratio.
+TOP_K_SLOW = 3
 
 JSON_PATH = os.path.join(
     os.path.dirname(__file__), "..", "BENCH_cluster_failures.json"
@@ -148,6 +156,7 @@ def run_sweep(eval_multiplier=24, num_requests=4000, warmup_requests=1000):
             num_requests=num_requests,
             scenario_overrides=overrides,
             warmup_requests=warmup_requests,
+            tracing=TracingConfig(enabled=True, top_k_slow=TOP_K_SLOW),
         )
         rows.append(
             {"label": label, "overrides": overrides, **report.to_dict()}
@@ -168,6 +177,28 @@ def run_sweep(eval_multiplier=24, num_requests=4000, warmup_requests=1000):
     }
 
 
+def _pctl(latency, field):
+    """One formatted percentile, starred when its rank outruns the samples."""
+    flag = "*" if field in latency.get("unsupported_percentiles", ()) else ""
+    return f"{latency[field]:.0f}{flag}"
+
+
+def _format_top_slow(row):
+    """The row's slowest requests with their per-stage time, one line each."""
+    lines = [f"slowest requests under '{row['label']}', per-stage time:"]
+    for entry in row["trace"]["top_slow"]:
+        stages = ", ".join(
+            f"{name} {us:,.0f}us"
+            for name, us in list(entry["stage_totals_us"].items())[:4]
+        )
+        degraded = " [degraded]" if entry["degraded"] else ""
+        lines.append(
+            f"  request {entry['request_id']}: "
+            f"{entry['latency_us']:,.0f}us{degraded} ({stages})"
+        )
+    return lines
+
+
 def _format(result):
     headers = [
         "scenario",
@@ -185,21 +216,23 @@ def _format(result):
         "restart",
     ]
     rows = []
+    flagged = False
     for row in result["scenarios"]:
         c = row["counters"]
+        flagged = flagged or bool(row["latency"]["unsupported_percentiles"])
         rows.append(
             [
                 row["label"],
                 row["replication"],
                 f"{row['availability']:.4f}",
-                f"{row['latency']['p50_us']:.0f}",
-                f"{row['latency']['p99_us']:.0f}",
-                f"{row['latency']['p999_us']:.0f}",
+                _pctl(row["latency"], "p50_us"),
+                _pctl(row["latency"], "p99_us"),
+                _pctl(row["latency"], "p999_us"),
                 f"{row['p999_vs_healthy']:.2f}x",
                 c["timeouts"],
                 c["retries"],
                 c["sheds"],
-                f"{c['hedges_launched']}/{c['hedges_won']}",
+                f"{c['hedges_launched']}/{c['hedges_won']}/{c['hedges_lost']}",
                 c["breaker_ejections"],
                 c["cold_restarts"],
             ]
@@ -209,8 +242,22 @@ def _format(result):
         f"({result['num_requests']} requests at {result['arrival_rate_rps']:.0f} rps, "
         f"{result['num_nodes']} nodes)",
         format_table(headers, rows),
-        "x999: p999 latency relative to the healthy baseline row",
+        "x999: p999 latency relative to the healthy baseline row; "
+        "hedges: launched/won/lost",
     ]
+    if flagged:
+        lines.append(
+            "* percentile computed from fewer samples than its rank requires"
+            " (interpolation quotes ~the max, not a tail estimate)"
+        )
+    # The "why" behind the worst ratios: per-stage breakdowns of the slowest
+    # requests in the three most-inflated scenarios.
+    worst = sorted(
+        (row for row in result["scenarios"] if row.get("trace")),
+        key=lambda row: -row["p999_vs_healthy"],
+    )[:3]
+    for row in worst:
+        lines.extend(_format_top_slow(row))
     return "\n".join(lines)
 
 

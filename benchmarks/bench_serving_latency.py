@@ -37,7 +37,7 @@ import sys
 
 from benchmarks.common import build_table_workload, save_result
 from repro.core.bandana import BandanaStore
-from repro.core.config import BandanaConfig, ServingConfig
+from repro.core.config import BandanaConfig, ServingConfig, TracingConfig
 from repro.nvm.latency import NVMLatencyModel
 from repro.serving import simulate_serving
 from repro.simulation import simulate_store
@@ -57,6 +57,10 @@ MAX_LINGER_US = 300.0
 SLO_LATENCY_US = 2000.0
 #: Fraction of the evaluation trace replayed untimed to warm the caches.
 WARMUP_FRACTION = 0.3
+#: Slow requests whose per-stage breakdown lands in the artifact; traced
+#: (repro.tracing) on the highest load point only — that is where the tail
+#: lives, and tracing every point would bloat the JSON for no insight.
+TOP_K_SLOW = 5
 
 JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_serving_latency.json")
 
@@ -149,6 +153,7 @@ def run_sweep(eval_multiplier=EVAL_MULTIPLIER, tables=TABLES, num_requests=None)
     sweep = []
     for fraction in LOAD_FRACTIONS:
         rate = fraction * sat_rps
+        traced = fraction == LOAD_FRACTIONS[-1]
         point = {"load_fraction": fraction, "arrival_rate_rps": round(rate, 1)}
         for arm, knobs in arms.items():
             warm_store(store, warm_trace)
@@ -163,6 +168,11 @@ def run_sweep(eval_multiplier=EVAL_MULTIPLIER, tables=TABLES, num_requests=None)
                 ),
                 num_requests=num_requests,
                 reset_first=False,
+                tracing=(
+                    TracingConfig(enabled=True, top_k_slow=TOP_K_SLOW)
+                    if traced
+                    else None
+                ),
             )
             point[arm] = report.to_dict()
         sweep.append(point)
@@ -179,23 +189,47 @@ def run_sweep(eval_multiplier=EVAL_MULTIPLIER, tables=TABLES, num_requests=None)
     }
 
 
+def _pctl(latency, field):
+    """One formatted percentile, starred when its rank outruns the samples."""
+    flag = "*" if field in latency.get("unsupported_percentiles", ()) else ""
+    return f"{latency[field]:.0f}{flag}"
+
+
+def _format_top_slow(trace):
+    """Readable top-K slow-request rows from a tracer summary dict."""
+    lines = []
+    for entry in trace["top_slow"]:
+        stages = ", ".join(
+            f"{name} {us:,.0f}us"
+            for name, us in list(entry["stage_totals_us"].items())[:4]
+        )
+        lines.append(
+            f"  request {entry['request_id']}: "
+            f"{entry['latency_us']:,.0f}us ({stages})"
+        )
+    return lines
+
+
 def _format(result):
     headers = [
         "load", "rate (rps)", "arm", "p50 (us)", "p95 (us)", "p99 (us)",
-        "tput (rps)", "mean qd", "SLO viol",
+        "p999 (us)", "tput (rps)", "mean qd", "SLO viol",
     ]
     rows = []
+    flagged = False
     for point in result["sweep"]:
         for arm in ("batched", "unbatched"):
             report = point[arm]
+            flagged = flagged or bool(report["latency"]["unsupported_percentiles"])
             rows.append(
                 [
                     f"{point['load_fraction']:.2f}x",
                     f"{point['arrival_rate_rps']:,.0f}",
                     arm,
-                    f"{report['latency']['p50_us']:.0f}",
-                    f"{report['latency']['p95_us']:.0f}",
-                    f"{report['latency']['p99_us']:.0f}",
+                    _pctl(report["latency"], "p50_us"),
+                    _pctl(report["latency"], "p95_us"),
+                    _pctl(report["latency"], "p99_us"),
+                    _pctl(report["latency"], "p999_us"),
                     f"{report['throughput_rps']:,.0f}",
                     f"{report['mean_queue_depth']:.1f}",
                     f"{100 * report['slo_violation_rate']:.1f}%",
@@ -209,6 +243,20 @@ def _format(result):
         f"linger {result['max_linger_us']:.0f} us)",
         format_table(headers, rows),
     ]
+    if flagged:
+        lines.append(
+            "* percentile computed from fewer samples than its rank requires"
+            " (interpolation quotes ~the max, not a tail estimate)"
+        )
+    top = result["sweep"][-1]
+    for arm in ("batched", "unbatched"):
+        trace = top[arm].get("trace")
+        if trace:
+            lines.append(
+                f"slowest requests at {top['load_fraction']:.2f}x ({arm}), "
+                "per-stage time:"
+            )
+            lines.extend(_format_top_slow(trace))
     return "\n".join(lines)
 
 

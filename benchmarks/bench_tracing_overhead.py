@@ -1,0 +1,174 @@
+"""Tracing-overhead smoke: a disabled tracer must cost (almost) nothing.
+
+:mod:`repro.tracing` instruments every hot serving path — the single-host
+batch loop and the cluster fan-out — behind ``if tracer.enabled:`` guards on
+the shared :data:`~repro.tracing.NULL_TRACER` singleton.  The contract that
+makes tracing safe to ship always-on-able is twofold, and this harness
+checks both on the CI-sized ``bench_serving_latency`` configuration (two
+tables, a short request stream):
+
+* **Disabled tracing is free.**  The only residual cost on the disabled
+  path is the guard itself: one attribute read per instrumentation site.
+  The harness micro-times the guard, multiplies by a deliberately generous
+  bound on guard evaluations per run, and asserts the product stays under
+  ``MAX_DISABLED_OVERHEAD`` of the measured run time.  Wall-clock A/B
+  timing cannot resolve a sub-percent delta on a seconds-long run in CI
+  noise; the guard product is deterministic and strictly pessimistic.
+* **Tracing is observational.**  The enabled run's ``ServingReport`` must
+  match the disabled run's field for field (latency percentiles, hit rates,
+  queue depths) with only the ``trace`` payload differing — the simulated
+  clock never sees the tracer.
+
+The enabled run's wall-clock cost relative to the disabled run is printed
+as information (it is dominated by span bookkeeping and is allowed to be
+noticeable; nobody enables per-request tracing for free), but only the
+disabled-path bound and the report equality are asserted, so the smoke is
+CI-stable.  Run directly (``python benchmarks/bench_tracing_overhead.py``);
+``--smoke`` is accepted for CI-invocation symmetry and selects the same
+configuration.
+"""
+
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
+import time
+
+from bench_serving_latency import (
+    MAX_BATCH,
+    MAX_LINGER_US,
+    SLO_LATENCY_US,
+    TABLES,
+    WARMUP_FRACTION,
+    build_store,
+    warm_store,
+)
+from repro.core.config import ServingConfig, TracingConfig
+from repro.serving import simulate_serving
+from repro.tracing import NULL_TRACER
+
+#: CI-sized configuration: the bench_serving_latency --smoke shape.
+SMOKE_TABLES = TABLES[:2]
+NUM_REQUESTS = 200
+ARRIVAL_RATE_RPS = 4000.0
+#: Asserted ceiling on the disabled-tracer overhead ("under a few percent").
+MAX_DISABLED_OVERHEAD = 0.03
+#: Guard evaluations per request, deliberately over-counted: the single-host
+#: loop takes a handful of ``tracer.enabled`` reads per request; 64 bounds
+#: any plausible future instrumentation density.
+GUARDS_PER_REQUEST = 64
+TIMING_REPS = 3
+
+
+def _guard_cost_s(iterations: int = 1_000_000) -> float:
+    """Measured wall-clock cost of one ``tracer.enabled`` guard read."""
+    tracer = NULL_TRACER
+    acc = 0
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if tracer.enabled:
+            acc += 1
+    elapsed = time.perf_counter() - start
+    assert acc == 0, "NULL_TRACER must report enabled=False"
+    return elapsed / iterations
+
+
+def _timed_run(store, warm_trace, serve_trace, tracing):
+    """One warmed serving run; returns (report, wall_seconds)."""
+    warm_store(store, warm_trace)
+    config = ServingConfig(
+        arrival_rate_rps=ARRIVAL_RATE_RPS,
+        max_batch_requests=MAX_BATCH,
+        max_linger_us=MAX_LINGER_US,
+        slo_latency_us=SLO_LATENCY_US,
+        seed=13,
+    )
+    start = time.perf_counter()
+    report = simulate_serving(
+        store,
+        serve_trace,
+        config,
+        num_requests=NUM_REQUESTS,
+        reset_first=False,
+        tracing=tracing,
+    )
+    return report, time.perf_counter() - start
+
+
+def run_check():
+    store, eval_trace = build_store(SMOKE_TABLES, eval_multiplier=1)
+    warm_trace, serve_trace = eval_trace.split(WARMUP_FRACTION)
+
+    disabled_s = float("inf")
+    disabled_report = None
+    for _ in range(TIMING_REPS):
+        report, elapsed = _timed_run(store, warm_trace, serve_trace, tracing=None)
+        disabled_s = min(disabled_s, elapsed)
+        if disabled_report is None:
+            disabled_report = report
+        elif report.to_dict() != disabled_report.to_dict():
+            raise AssertionError("disabled-tracer runs are not deterministic")
+
+    enabled_s = float("inf")
+    enabled_report = None
+    for _ in range(TIMING_REPS):
+        report, elapsed = _timed_run(
+            store,
+            warm_trace,
+            serve_trace,
+            tracing=TracingConfig(enabled=True),
+        )
+        enabled_s = min(enabled_s, elapsed)
+        enabled_report = report
+
+    disabled_dict = disabled_report.to_dict()
+    enabled_dict = enabled_report.to_dict()
+    trace = enabled_dict.pop("trace")
+    disabled_dict.pop("trace")
+    if enabled_dict != disabled_dict:
+        diff = {
+            key
+            for key in set(enabled_dict) | set(disabled_dict)
+            if enabled_dict.get(key) != disabled_dict.get(key)
+        }
+        raise AssertionError(
+            f"tracing changed the report (not observational): {sorted(diff)}"
+        )
+    counters = trace["counters"]
+    served = disabled_dict["num_requests"]
+    if counters["requests_started"] != served:
+        raise AssertionError(
+            f"tracer saw {counters['requests_started']} requests, "
+            f"expected {served}"
+        )
+
+    guard_s = _guard_cost_s()
+    overhead = guard_s * GUARDS_PER_REQUEST * served / disabled_s
+    print(
+        f"tracing overhead smoke ({'+'.join(SMOKE_TABLES)}, "
+        f"{served} requests at {ARRIVAL_RATE_RPS:.0f} rps)"
+    )
+    print(
+        f"  disabled run: {disabled_s * 1e3:.1f} ms  "
+        f"(guard {guard_s * 1e9:.1f} ns x {GUARDS_PER_REQUEST}/request "
+        f"-> bound {100 * overhead:.3f}% of run time)"
+    )
+    print(
+        f"  enabled run:  {enabled_s * 1e3:.1f} ms  "
+        f"({enabled_s / disabled_s:.2f}x disabled; "
+        f"{counters['spans_recorded']} spans over "
+        f"{counters['requests_retained']} retained traces)"
+    )
+    print("  enabled/disabled reports identical outside the trace payload")
+    if overhead >= MAX_DISABLED_OVERHEAD:
+        raise AssertionError(
+            f"disabled-tracer overhead bound {100 * overhead:.2f}% exceeds "
+            f"{100 * MAX_DISABLED_OVERHEAD:.0f}%"
+        )
+    print(
+        f"  disabled-tracer overhead bound {100 * overhead:.3f}% "
+        f"< {100 * MAX_DISABLED_OVERHEAD:.0f}% ceiling: OK"
+    )
+
+
+if __name__ == "__main__":
+    # --smoke accepted for CI symmetry; the harness is already CI-sized.
+    run_check()

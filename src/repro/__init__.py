@@ -26,11 +26,24 @@ The most convenient entry points are:
     ``repro.cluster.run_scenario``.  See the ``repro.cluster`` package
     docstring for the scenario catalog and example configurations.
 
+``repro.tracing``
+    Per-request span tracing on the simulated clock: enable with
+    ``BandanaConfig(tracing=TracingConfig(enabled=True))`` (or a
+    ``tracing=`` argument to ``simulate_serving``/``run_scenario``) and
+    every request's latency decomposes into named stage spans — batcher
+    wait, device queue vs service, per-attempt retry/hedge/shed intervals —
+    with critical-path and per-stage breakdown queries for tail debugging.
+
 See ``DESIGN.md`` for the full module map and the per-experiment index.
 """
 
 from repro.core.bandana import BandanaStore, BandanaTableState
-from repro.core.config import BandanaConfig, ServingConfig, TableCacheConfig
+from repro.core.config import (
+    BandanaConfig,
+    ServingConfig,
+    TableCacheConfig,
+    TracingConfig,
+)
 from repro.core.metrics import CacheStats, EffectiveBandwidth, LatencyStats
 
 __all__ = [
@@ -39,6 +52,7 @@ __all__ = [
     "BandanaConfig",
     "ServingConfig",
     "TableCacheConfig",
+    "TracingConfig",
     "CacheStats",
     "EffectiveBandwidth",
     "LatencyStats",

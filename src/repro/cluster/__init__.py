@@ -55,6 +55,18 @@ cluster replays a request stream **bit-identically** to the single-host
 store: one shard group per table, no retries, no hedges, no shedding, the
 same engine state transitions in the same order.
 ``tests/test_cluster_equivalence.py`` pins this, golden counters included.
+
+Tracing
+-------
+Pass ``tracing=TracingConfig(enabled=True)`` to :func:`run_scenario` (or
+attach a :class:`repro.tracing.Tracer` via
+:meth:`~repro.cluster.store.ClusterStore.set_tracer`) and every measured
+request records its full fan-out span tree — shard groups, per-attempt
+timeout/link-loss/shed/breaker-skip intervals, retry backoffs, hedges (both
+attempts of a hedge-won request) and per-node queue-vs-service splits — so
+a fault scenario's p999 inflation can be attributed to failover machinery
+rather than guessed at.  The summary lands in ``ClusterReport.trace``; see
+:mod:`repro.tracing` for the worked example.
 """
 
 from repro.cluster.faults import (

@@ -21,6 +21,13 @@ A crashed node loses its DRAM on recovery: :meth:`ClusterNode.cold_restart`
 rebuilds every engine cold (fresh cache, fresh policy state, zeroed backlog)
 while keeping the cumulative :class:`~repro.caching.replay.ReplayStats`
 objects, so availability accounting spans the crash.
+
+The :class:`ShardServiceResult` split — ``queue_wait_us`` (FIFO backlog on
+this node's clock) vs ``service_us`` (overhead + NVM read time, stretched by
+any slow-node multiplier) — is what the router records as the
+``node.queue``/``node.service`` spans of a traced attempt
+(:mod:`repro.tracing`), and what the circuit breaker judges slowness by
+(service only; backlog is overload, not brokenness).
 """
 
 from __future__ import annotations

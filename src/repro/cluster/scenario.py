@@ -26,10 +26,11 @@ import numpy as np
 from repro.cluster.faults import SCENARIOS, FaultSchedule, make_scenario
 from repro.cluster.store import ClusterCounters, ClusterStore
 from repro.core.bandana import BandanaStore
-from repro.core.config import ClusterConfig, ServingConfig
+from repro.core.config import ClusterConfig, ServingConfig, TracingConfig
 from repro.serving.arrivals import arrival_times
 from repro.serving.report import LatencySummary
 from repro.simulation.interleaved import iter_store_requests
+from repro.tracing.tracer import Tracer, resolve_tracer
 from repro.workloads.trace import ModelTrace
 
 
@@ -53,6 +54,10 @@ class ClusterReport:
     hit_rate: float
     blocks_read: int
     node_blocks_read: List[int]
+    #: JSON-ready tracer summary (``repro.tracing``): per-stage breakdown
+    #: over the measured run plus the top-K slowest requests' critical
+    #: paths.  ``None`` unless the run was traced.
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def slo_violation_rate(self) -> float:
@@ -80,6 +85,7 @@ class ClusterReport:
             "hit_rate": self.hit_rate,
             "blocks_read": self.blocks_read,
             "node_blocks_read": list(self.node_blocks_read),
+            "trace": self.trace,
         }
 
 
@@ -92,6 +98,7 @@ def run_scenario(
     num_requests: Optional[int] = None,
     scenario_overrides: Optional[Mapping[str, float]] = None,
     warmup_requests: int = 0,
+    tracing: Optional["TracingConfig | Tracer"] = None,
 ) -> ClusterReport:
     """Replay a trace through a fresh fault-injected cluster (see module doc).
 
@@ -121,6 +128,16 @@ def run_scenario(
         number) before the measured run, after which the cluster's clocks
         rebase to zero with warm caches — without this the cold-start miss
         surge dominates every percentile and masks the fault's tail cost.
+    tracing:
+        Per-request span tracing (:mod:`repro.tracing`): a
+        :class:`~repro.core.config.TracingConfig` (enabled) or an existing
+        :class:`~repro.tracing.Tracer`; defaults to
+        ``store.config.tracing`` — disabled.  The tracer attaches *after*
+        the warm-up and clock rebase, so it sees exactly the measured
+        requests (ids ``0..n-1``) and the conservation invariant — every
+        measured arrival in exactly one completed/degraded trace — is
+        testable.  The report then carries the tracer's JSON summary in
+        ``report.trace``.
     """
     cluster_config = cluster_config or store.config.cluster
     serving_config = serving_config or store.config.serving
@@ -149,12 +166,22 @@ def run_scenario(
     stats_before = cluster.aggregate_stats()
     node_blocks_before = cluster.node_blocks_read()
 
+    # Attached after warm-up + rebase: the tracer sees only the measured
+    # requests, whose ids restart at 0 with the rebased counters.
+    tracer = resolve_tracer(
+        tracing if tracing is not None else store.config.tracing,
+        slo_latency_us=serving_config.slo_latency_us,
+    )
+    cluster.set_tracer(tracer)
     latencies = np.empty(n, dtype=np.float64)
     last_completion_us = 0.0
-    for i, request in enumerate(requests):
-        outcome = cluster.serve_request(request, now_us=float(arrival_us[i]))
-        latencies[i] = outcome.latency_us
-        last_completion_us = max(last_completion_us, outcome.completion_us)
+    try:
+        for i, request in enumerate(requests):
+            outcome = cluster.serve_request(request, now_us=float(arrival_us[i]))
+            latencies[i] = outcome.latency_us
+            last_completion_us = max(last_completion_us, outcome.completion_us)
+    finally:
+        cluster.set_tracer(None)
 
     stats = cluster.aggregate_stats()
     makespan_us = last_completion_us - (float(arrival_us[0]) if n else 0.0)
@@ -185,6 +212,7 @@ def run_scenario(
             after - before
             for after, before in zip(cluster.node_blocks_read(), node_blocks_before)
         ],
+        trace=tracer.summary() if tracer.enabled else None,
     )
 
 

@@ -34,6 +34,22 @@ availability.  The hard equivalence anchor: with one node, ``R = 1`` and no
 faults, every request is one unhedged, unretried engine replay in arrival
 order — bit-identical counters to :class:`~repro.core.bandana.BandanaStore`
 (pinned in ``tests/test_cluster_equivalence.py``).
+
+Tracing
+-------
+Attach a :class:`repro.tracing.Tracer` via :meth:`ClusterStore.set_tracer`
+(or pass ``tracing=`` to :func:`repro.cluster.run_scenario`) and every
+request records a span tree on the simulated clock: a ``"request"`` root,
+a ``batcher.queue`` span when the request waited in a front-end batcher,
+one ``shard_group`` span per fan-out (parallel siblings), and one span per
+attempt — ``attempt.ok`` with ``node.queue``/``node.service`` children,
+``attempt.timeout``/``attempt.link_loss``/``attempt.shed``/
+``attempt.breaker_skip`` for the failure modes, ``backoff`` intervals
+between retries, and ``hedge.won``/``hedge.lost`` for duplicate reads (a
+hedge-won request shows *both* attempts; the beaten primary is flagged as a
+speculative loser).  Disabled tracing is the shared no-op singleton — one
+attribute load and a branch per site, no allocations, and bit-identical
+behavior (golden-pinned).
 """
 
 from __future__ import annotations
@@ -45,10 +61,29 @@ import numpy as np
 
 from repro.caching.replay import ReplayStats
 from repro.cluster.faults import FaultSchedule
-from repro.cluster.node import ClusterNode
+from repro.cluster.node import ClusterNode, ShardServiceResult
 from repro.cluster.ring import ConsistentHashRing
 from repro.core.config import ClusterConfig
 from repro.core.tablespec import TableServingSpec
+from repro.tracing.tracer import (
+    ATTR_OVERLAP_OK,
+    ATTR_PARALLEL,
+    NULL_TRACER,
+    STAGE_ATTEMPT_BREAKER_SKIP,
+    STAGE_ATTEMPT_LINK_LOSS,
+    STAGE_ATTEMPT_OK,
+    STAGE_ATTEMPT_SHED,
+    STAGE_ATTEMPT_TIMEOUT,
+    STAGE_BACKOFF,
+    STAGE_BATCH_QUEUE,
+    STAGE_FANIN_OVERHEAD,
+    STAGE_HEDGE_LOST,
+    STAGE_HEDGE_WON,
+    STAGE_NODE_QUEUE,
+    STAGE_NODE_SERVICE,
+    STAGE_SHARD_GROUP,
+    Tracer,
+)
 from repro.utils.units import s_to_us
 from repro.utils.rng import ensure_rng
 
@@ -77,6 +112,7 @@ class ClusterCounters:
     sheds: int = 0
     hedges_launched: int = 0
     hedges_won: int = 0
+    hedges_lost: int = 0
     breaker_skips: int = 0
     breaker_ejections: int = 0
     cold_restarts: int = 0
@@ -103,6 +139,7 @@ class ClusterCounters:
             "sheds": self.sheds,
             "hedges_launched": self.hedges_launched,
             "hedges_won": self.hedges_won,
+            "hedges_lost": self.hedges_lost,
             "breaker_skips": self.breaker_skips,
             "breaker_ejections": self.breaker_ejections,
             "cold_restarts": self.cold_restarts,
@@ -126,6 +163,25 @@ class RequestOutcome:
     @property
     def latency_us(self) -> float:
         return self.completion_us - self.arrival_us
+
+
+@dataclass(frozen=True)
+class _HedgeAttempt:
+    """What one *fired* hedge did (``None`` from ``_hedge`` = never fired).
+
+    A hedge that fired always counts as launched — even when the duplicate
+    read was lost in flight or shed on arrival, the router paid for it and
+    (when it completed) the secondary's cache was warmed.  ``completion_us``
+    is ``None`` exactly when ``outcome`` is not ``"completed"``.
+    """
+
+    node_index: int
+    start_us: float
+    arrive_us: float
+    outcome: str  # "completed" | "link_loss" | "shed"
+    completion_us: Optional[float] = None
+    queue_wait_us: float = 0.0
+    service_us: float = 0.0
 
 
 class _CircuitBreaker:
@@ -248,6 +304,15 @@ class ClusterStore:
         self._latency_window: List[float] = []
         self._hedge_delay_us = self.config.hedge_min_us
         self._samples_since_refresh = 0
+        #: Span recorder (``repro.tracing``); the shared no-op singleton
+        #: unless a caller attaches a real tracer via :meth:`set_tracer`.
+        #: An attachment survives resets — tracing observes serving state,
+        #: it is not part of it.
+        self.tracer: Tracer = getattr(self, "tracer", NULL_TRACER)
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach a span recorder (``None`` detaches back to the no-op)."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def reset_serving_state(self) -> None:
         """Cold caches, zeroed counters and clocks, reseeded loss draws."""
@@ -282,26 +347,64 @@ class ClusterStore:
         self,
         request: Mapping[str, Iterable[int]],
         now_us: Optional[float] = None,
+        arrival_us: Optional[float] = None,
     ) -> RequestOutcome:
-        """Serve one multi-table request arriving at ``now_us``.
+        """Serve one multi-table request dispatched at ``now_us``.
 
         ``now_us=None`` is sequential-replay mode: the request is issued the
         moment the previous one completed (queues are empty, nothing sheds),
         which is the schedule equivalence tests compare against single-store
-        replay.  Open-loop callers pass real arrival timestamps, making
+        replay.  Open-loop callers pass real dispatch timestamps, making
         node backlog — and therefore admission control — real.
+
+        ``arrival_us`` is the request's *true* arrival when it waited in a
+        front-end batcher before dispatch (defaults to ``now_us``): it only
+        anchors the returned outcome's latency and the trace's root span —
+        serving timing starts at dispatch either way.
         """
-        arrival_us = self._clock_us if now_us is None else float(now_us)
+        dispatch_us = self._clock_us if now_us is None else float(now_us)
+        true_arrival_us = dispatch_us if arrival_us is None else float(arrival_us)
+        tracer = self.tracer
+        rid = self.counters.requests_total
+        if tracer.enabled:
+            tracer.begin_request(rid, true_arrival_us)
+            if dispatch_us > true_arrival_us:
+                tracer.span(rid, STAGE_BATCH_QUEUE, true_arrival_us, dispatch_us)
         groups = self._route(request)
-        completion_us = arrival_us
+        completion_us = dispatch_us
         failed = 0
         for table_name, replicas, ids in groups:
+            group_span_id = -1
+            if tracer.enabled:
+                group_span_id = tracer.open_span(
+                    rid,
+                    STAGE_SHARD_GROUP,
+                    dispatch_us,
+                    table=table_name,
+                    replicas=replicas,
+                    num_ids=int(ids.size),
+                    **{ATTR_PARALLEL: True},
+                )
             ok, group_completion = self._serve_shard_group(
-                table_name, replicas, ids, arrival_us
+                table_name,
+                replicas,
+                ids,
+                dispatch_us,
+                rid=rid,
+                group_span_id=group_span_id,
             )
+            if tracer.enabled:
+                tracer.close_span(rid, group_span_id, group_completion, ok=ok)
             completion_us = max(completion_us, group_completion)
             if not ok:
                 failed += 1
+        if tracer.enabled:
+            tracer.span(
+                rid,
+                STAGE_FANIN_OVERHEAD,
+                completion_us,
+                completion_us + self.config.request_overhead_us,
+            )
         completion_us += self.config.request_overhead_us
         self.counters.requests_total += 1
         self.counters.shard_groups += len(groups)
@@ -311,8 +414,10 @@ class ClusterStore:
         else:
             self.counters.requests_ok += 1
         self._clock_us = max(self._clock_us, completion_us)
+        if tracer.enabled:
+            tracer.end_request(rid, completion_us, degraded=failed > 0)
         return RequestOutcome(
-            arrival_us=arrival_us,
+            arrival_us=true_arrival_us,
             completion_us=completion_us,
             shard_groups=len(groups),
             failed_groups=failed,
@@ -369,10 +474,20 @@ class ClusterStore:
         replicas: Sequence[int],
         ids: np.ndarray,
         t0_us: float,
+        rid: int = -1,
+        group_span_id: int = -1,
     ) -> Tuple[bool, float]:
-        """Serve one shard group with retries/hedging; see module docstring."""
+        """Serve one shard group with retries/hedging; see module docstring.
+
+        ``rid``/``group_span_id`` anchor the per-attempt spans when a tracer
+        is attached: every attempt — including ones that burned a timeout,
+        were shed, or were skipped on an open breaker — becomes a span under
+        the group, so a traced request shows *why* its group was slow, not
+        just that it was.
+        """
         config = self.config
         counters = self.counters
+        tracer = self.tracer
         num_replicas = len(replicas)
         backoff_us = config.retry_backoff_us
         t = t0_us
@@ -388,6 +503,15 @@ class ClusterStore:
             if not force and not breaker.allows(t):
                 counters.breaker_skips += 1
                 consecutive_skips += 1
+                if tracer.enabled:
+                    tracer.span(
+                        rid,
+                        STAGE_ATTEMPT_BREAKER_SKIP,
+                        t,
+                        t,
+                        parent_id=group_span_id,
+                        node=node_index,
+                    )
                 continue
             consecutive_skips = 0
             if attempts_made:
@@ -399,6 +523,23 @@ class ClusterStore:
                 counters.timeouts += 1
                 if breaker.strike(t + config.shard_timeout_us):
                     counters.breaker_ejections += 1
+                if tracer.enabled:
+                    timeout_end = t + config.shard_timeout_us
+                    tracer.span(
+                        rid,
+                        STAGE_ATTEMPT_TIMEOUT,
+                        t,
+                        timeout_end,
+                        parent_id=group_span_id,
+                        node=node_index,
+                    )
+                    tracer.span(
+                        rid,
+                        STAGE_BACKOFF,
+                        timeout_end,
+                        timeout_end + backoff_us,
+                        parent_id=group_span_id,
+                    )
                 t += config.shard_timeout_us + backoff_us
                 backoff_us = min(2.0 * backoff_us, config.retry_backoff_cap_us)
                 continue
@@ -409,6 +550,23 @@ class ClusterStore:
                 counters.timeouts += 1
                 if breaker.strike(t + config.shard_timeout_us):
                     counters.breaker_ejections += 1
+                if tracer.enabled:
+                    timeout_end = t + config.shard_timeout_us
+                    tracer.span(
+                        rid,
+                        STAGE_ATTEMPT_LINK_LOSS,
+                        t,
+                        timeout_end,
+                        parent_id=group_span_id,
+                        node=node_index,
+                    )
+                    tracer.span(
+                        rid,
+                        STAGE_BACKOFF,
+                        timeout_end,
+                        timeout_end + backoff_us,
+                        parent_id=group_span_id,
+                    )
                 t += config.shard_timeout_us + backoff_us
                 backoff_us = min(2.0 * backoff_us, config.retry_backoff_cap_us)
                 continue
@@ -418,6 +576,24 @@ class ClusterStore:
                 # Fast rejection: the node answers "busy" after one round
                 # trip instead of queueing the read unboundedly.
                 counters.sheds += 1
+                if tracer.enabled:
+                    shed_end = t + 2.0 * link_delay_us
+                    tracer.span(
+                        rid,
+                        STAGE_ATTEMPT_SHED,
+                        t,
+                        shed_end,
+                        parent_id=group_span_id,
+                        node=node_index,
+                        queue_wait_us=wait_us,
+                    )
+                    tracer.span(
+                        rid,
+                        STAGE_BACKOFF,
+                        shed_end,
+                        shed_end + backoff_us,
+                        parent_id=group_span_id,
+                    )
                 t += 2.0 * link_delay_us + backoff_us
                 backoff_us = min(2.0 * backoff_us, config.retry_backoff_cap_us)
                 continue
@@ -434,23 +610,126 @@ class ClusterStore:
                     counters.breaker_ejections += 1
             else:
                 breaker.succeed()
+            hedge: Optional[_HedgeAttempt] = None
+            hedge_won = False
             if (
                 attempt == 0
                 and config.hedge_enabled
                 and num_replicas > 1
                 and attempt_latency_us > self._hedge_delay_us
             ):
-                hedge_completion = self._hedge(
+                hedge = self._hedge(
                     table_name, replicas, node_index, ids, t0_us + self._hedge_delay_us
                 )
-                if hedge_completion is not None:
+                if hedge is not None:
+                    # A fired hedge is a launched hedge whatever became of
+                    # it — the duplicate read cost the router a round trip
+                    # and (when served) warmed the secondary's cache.
                     counters.hedges_launched += 1
-                    if hedge_completion < completion_us:
+                    # A tie is a win: the hedge returned no later than the
+                    # primary, so its result was usable (completion time is
+                    # unchanged either way).
+                    if (
+                        hedge.completion_us is not None
+                        and hedge.completion_us <= completion_us
+                    ):
                         counters.hedges_won += 1
-                        completion_us = hedge_completion
+                        hedge_won = True
+                    else:
+                        counters.hedges_lost += 1
+            if tracer.enabled:
+                self._record_attempt_spans(
+                    rid,
+                    group_span_id,
+                    node_index,
+                    t,
+                    arrive_us,
+                    service,
+                    completion_us,
+                    hedge,
+                    hedge_won,
+                )
+            if hedge_won:
+                assert hedge is not None and hedge.completion_us is not None
+                completion_us = hedge.completion_us
             self._record_shard_latency(completion_us - t0_us)
             return True, completion_us
         return False, t
+
+    def _record_attempt_spans(
+        self,
+        rid: int,
+        group_span_id: int,
+        node_index: int,
+        t_us: float,
+        arrive_us: float,
+        service: "ShardServiceResult",
+        completion_us: float,
+        hedge: Optional[_HedgeAttempt],
+        hedge_won: bool,
+    ) -> None:
+        """Record the served attempt's spans (and its hedge's, if one fired).
+
+        Only called with a real tracer attached.  When the hedge won, the
+        primary attempt is the speculative loser — it ends after the group
+        closes at the hedge's completion — so it carries
+        :data:`~repro.tracing.tracer.ATTR_OVERLAP_OK`; a lost hedge carries
+        it for the mirror reason.
+        """
+        tracer = self.tracer
+        primary_attrs: Dict[str, object] = {"node": node_index}
+        if hedge_won:
+            primary_attrs[ATTR_OVERLAP_OK] = True
+        attempt_id = tracer.span(
+            rid,
+            STAGE_ATTEMPT_OK,
+            t_us,
+            completion_us,
+            parent_id=group_span_id,
+            **primary_attrs,
+        )
+        served_us = arrive_us + service.queue_wait_us
+        tracer.span(
+            rid, STAGE_NODE_QUEUE, arrive_us, served_us, parent_id=attempt_id
+        )
+        tracer.span(
+            rid,
+            STAGE_NODE_SERVICE,
+            served_us,
+            served_us + service.service_us,
+            parent_id=attempt_id,
+        )
+        if hedge is None:
+            return
+        name = STAGE_HEDGE_WON if hedge_won else STAGE_HEDGE_LOST
+        hedge_attrs: Dict[str, object] = {
+            "node": hedge.node_index,
+            "outcome": hedge.outcome,
+        }
+        if not hedge_won:
+            hedge_attrs[ATTR_OVERLAP_OK] = True
+        hedge_end = (
+            hedge.completion_us if hedge.completion_us is not None else hedge.start_us
+        )
+        hedge_id = tracer.span(
+            rid, name, hedge.start_us, hedge_end, parent_id=group_span_id, **hedge_attrs
+        )
+        if hedge.outcome == "completed":
+            hedge_served_us = hedge.arrive_us + hedge.queue_wait_us
+            tracer.span(
+                rid,
+                STAGE_NODE_QUEUE,
+                hedge.arrive_us,
+                hedge_served_us,
+                parent_id=hedge_id,
+            )
+            tracer.span(
+                rid,
+                STAGE_NODE_SERVICE,
+                hedge_served_us,
+                hedge_served_us + hedge.service_us,
+                parent_id=hedge_id,
+            )
 
     def _hedge(
         self,
@@ -459,12 +738,16 @@ class ClusterStore:
         primary_index: int,
         ids: np.ndarray,
         start_us: float,
-    ) -> Optional[float]:
+    ) -> Optional[_HedgeAttempt]:
         """Fire one duplicate read at the first viable secondary replica.
 
-        Returns the hedge's completion time, or ``None`` when no secondary
-        was viable (down, ejected, lost in flight, or shedding) — the hedge
-        is then abandoned and the primary result stands.
+        Returns ``None`` when no secondary was viable *before* firing (every
+        candidate down or ejected) — nothing was launched.  Otherwise the
+        hedge fired, and the returned :class:`_HedgeAttempt` says what
+        became of it: ``"completed"`` with a completion time, or
+        ``"link_loss"`` / ``"shed"`` for a duplicate that was launched but
+        lost — the router still pays the primary's latency, but the launch
+        must be accounted.
         """
         config = self.config
         for node_index in replicas:
@@ -477,16 +760,35 @@ class ClusterStore:
             if self.faults.is_down(node_index, start_us):
                 continue
             extra_delay_us, loss_prob = self.faults.link(node_index, start_us)
-            if loss_prob > 0.0 and self._rng.random() < loss_prob:
-                return None
             link_delay_us = config.link_delay_us + extra_delay_us
             arrive_us = start_us + link_delay_us
+            if loss_prob > 0.0 and self._rng.random() < loss_prob:
+                return _HedgeAttempt(
+                    node_index=node_index,
+                    start_us=start_us,
+                    arrive_us=arrive_us,
+                    outcome="link_loss",
+                )
             wait_us = node.queue_wait_us(arrive_us)
             if wait_us > config.admission_queue_slack * config.slo_us(table_name):
-                return None
+                return _HedgeAttempt(
+                    node_index=node_index,
+                    start_us=start_us,
+                    arrive_us=arrive_us,
+                    outcome="shed",
+                    queue_wait_us=wait_us,
+                )
             multiplier = self.faults.latency_multiplier(node_index, start_us)
             service = node.serve(table_name, ids, arrive_us, multiplier)
-            return start_us + 2.0 * link_delay_us + service.total_us
+            return _HedgeAttempt(
+                node_index=node_index,
+                start_us=start_us,
+                arrive_us=arrive_us,
+                outcome="completed",
+                completion_us=start_us + 2.0 * link_delay_us + service.total_us,
+                queue_wait_us=service.queue_wait_us,
+                service_us=service.service_us,
+            )
         return None
 
     # ----------------------------------------------------------------- faults

@@ -8,7 +8,13 @@ caches and then serves lookups while accounting for every NVM block read.
 """
 
 from repro.core.bandana import BandanaStore, BandanaTableState
-from repro.core.config import BandanaConfig, ClusterConfig, ServingConfig, TableCacheConfig
+from repro.core.config import (
+    BandanaConfig,
+    ClusterConfig,
+    ServingConfig,
+    TableCacheConfig,
+    TracingConfig,
+)
 from repro.core.metrics import CacheStats, EffectiveBandwidth, LatencyStats
 from repro.core.tablespec import TableServingSpec
 
@@ -19,6 +25,7 @@ __all__ = [
     "ClusterConfig",
     "ServingConfig",
     "TableCacheConfig",
+    "TracingConfig",
     "TableServingSpec",
     "CacheStats",
     "EffectiveBandwidth",

@@ -114,6 +114,48 @@ class ServingConfig:
 
 
 @dataclass(frozen=True)
+class TracingConfig:
+    """Knobs of the per-request span tracer (:mod:`repro.tracing`).
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  Disabled (the default), the serving and cluster
+        paths use the shared no-op tracer — instrumentation costs one
+        attribute load and a branch per site, allocates nothing, and every
+        golden pin stays bit-identical.
+    sample_every:
+        Retain every ``sample_every``-th request's trace (``1`` retains
+        all).  Sampling bounds memory on long runs without losing the
+        shape of the per-stage breakdown.
+    always_sample_slo_violations:
+        Retain every request whose end-to-end latency exceeded the run's
+        SLO regardless of ``sample_every`` — tail regressions live in a
+        handful of requests uniform sampling would miss.
+    max_requests:
+        Hard cap on retained traces; beyond it the oldest retained trace
+        is evicted first (the tracer's conservation counters still account
+        for every request ever started).
+    top_k_slow:
+        How many slowest requests the summary renders with their critical
+        paths (the benchmark artifacts' "why is p999 what it is" section).
+    """
+
+    enabled: bool = False
+    sample_every: int = 1
+    always_sample_slo_violations: bool = True
+    max_requests: int = 4096
+    top_k_slow: int = 5
+
+    def __post_init__(self) -> None:
+        check_bool(self.enabled, "enabled")
+        check_bool(self.always_sample_slo_violations, "always_sample_slo_violations")
+        check_int_at_least(self.sample_every, 1, "sample_every")
+        check_int_at_least(self.max_requests, 1, "max_requests")
+        check_int_at_least(self.top_k_slow, 1, "top_k_slow")
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Knobs of the simulated multi-node cluster store (:mod:`repro.cluster`).
 
@@ -339,6 +381,10 @@ class BandanaConfig:
         Simulated multi-node cluster topology and robustness knobs consumed
         by :mod:`repro.cluster` (sharding, replication, timeouts, hedging,
         circuit breaking, admission control).
+    tracing:
+        Per-request span tracing knobs consumed by :mod:`repro.tracing`
+        (sampling, SLO-violator retention, sink capacity).  Disabled by
+        default; enabling it changes no simulated timing, only records it.
     """
 
     vector_bytes: int = 128
@@ -360,6 +406,7 @@ class BandanaConfig:
     chunk_requests: int = 64
     serving: ServingConfig = ServingConfig()
     cluster: ClusterConfig = ClusterConfig()
+    tracing: TracingConfig = TracingConfig()
 
     def __post_init__(self) -> None:
         check_int_at_least(self.vector_bytes, 1, "vector_bytes")
@@ -375,6 +422,7 @@ class BandanaConfig:
         check_seed(self.seed, "seed")
         check_instance(self.serving, ServingConfig, "serving")
         check_instance(self.cluster, ClusterConfig, "cluster")
+        check_instance(self.tracing, TracingConfig, "tracing")
         if self.interleaved_replay and not self.use_batched_engine:
             raise ValueError(
                 "interleaved_replay requires use_batched_engine (the reference "

@@ -43,6 +43,20 @@ as :func:`repro.simulation.simulate_serving` next to ``simulate_store``.  The
 knobs live in :class:`repro.core.config.ServingConfig`, reachable as
 ``BandanaConfig.serving``.  ``benchmarks/bench_serving_latency.py`` sweeps
 arrival rates up to device saturation, batched vs unbatched.
+
+Tracing
+-------
+Pass ``tracing=TracingConfig(enabled=True)`` (or set
+``BandanaConfig.tracing``) and every request's latency decomposes into
+spans on the same simulated clock — ``batcher.queue`` (arrival → batch
+dispatch: queue wait plus linger), ``device.queue`` (dispatch → device
+start, the FIFO backlog), ``device.service`` (the batch's NVM reads) and
+``overhead`` — which tile the end-to-end latency *exactly*.  The report
+then carries a JSON summary (per-stage breakdown, top-K slowest requests
+with critical paths) in ``ServingReport.trace``; see :mod:`repro.tracing`
+for the query API and a worked "why did p999 regress" example.  A disabled
+tracer (the default) is a no-op singleton behind one branch per site —
+behavior is bit-identical either way.
 """
 
 from repro.core.config import ServingConfig

@@ -34,9 +34,16 @@ from repro.utils.units import s_to_us
 
 @dataclass(frozen=True)
 class BatchServiceRecord:
-    """What the accountant decided for one dispatched batch."""
+    """What the accountant decided for one dispatched batch.
+
+    ``start_us`` is when the device actually began this batch's reads —
+    ``completion_us - start_us`` is pure service time and
+    ``start_us - dispatch_us`` is FIFO queue wait behind earlier batches,
+    the split the tracer records as ``device.queue`` vs ``device.service``.
+    """
 
     dispatch_us: float
+    start_us: float
     completion_us: float
     block_reads: int
     queue_depth: float
@@ -103,11 +110,15 @@ class DeviceLatencyAccountant:
         queue_depth = min(max(float(outstanding), 1.0), self.max_queue_depth)
         mbps = self._throughput_mbps(dispatch_us, block_reads)
         if block_reads == 0:
+            # No device visit: record the depth actually observed (possibly
+            # 0, an idle device) rather than the >=1 clamp the latency model
+            # needs — the model is never consulted on this branch.
             record = BatchServiceRecord(
                 dispatch_us=dispatch_us,
+                start_us=dispatch_us,
                 completion_us=dispatch_us,
                 block_reads=0,
-                queue_depth=queue_depth,
+                queue_depth=min(float(self._inflight_blocks), self.max_queue_depth),
                 device_mbps=mbps,
                 read_latency_us=0.0,
             )
@@ -127,6 +138,7 @@ class DeviceLatencyAccountant:
         self._inflight_blocks += block_reads
         record = BatchServiceRecord(
             dispatch_us=dispatch_us,
+            start_us=start_us,
             completion_us=completion_us,
             block_reads=block_reads,
             queue_depth=queue_depth,

@@ -18,6 +18,11 @@ Both generators are driven by a seeded :class:`numpy.random.Generator` and
 produce a plain array of arrival timestamps, so a simulation is a pure
 function of (trace, config, seed) — the property the golden serving tests
 pin.
+
+Each arrival timestamp is also where a request's trace begins: when tracing
+is enabled (:mod:`repro.tracing`), the front-end roots request ``i``'s
+``"request"`` span at ``arrival_us[i]``, and everything between arrival and
+batch dispatch is the ``batcher.queue`` span.
 """
 
 from __future__ import annotations

@@ -18,6 +18,13 @@ non-decreasing in batch order, which the accountant's FIFO device relies on.
 
 ``max_batch_requests=1`` degenerates to unbatched serving: every request is
 dispatched at its own arrival time and the linger cutoff never applies.
+
+When tracing is enabled (:mod:`repro.tracing`), the interval a request
+spends here — its arrival to its batch's dispatch, i.e. queue wait plus any
+linger — is recorded as its ``batcher.queue`` span, attributed with the
+batch id and size; a request that filled its batch has a zero-length span
+(it never waited), which is exactly the batching-cost signal a p999
+investigation needs.
 """
 
 from __future__ import annotations

@@ -35,12 +35,21 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 import numpy as np
 
 from repro.core.bandana import BandanaStore
-from repro.core.config import ServingConfig
+from repro.core.config import ServingConfig, TracingConfig
 from repro.nvm.latency import NVMLatencyModel
 from repro.serving.accountant import DeviceLatencyAccountant
 from repro.serving.arrivals import arrival_times
 from repro.serving.batcher import Batch, form_batches
 from repro.serving.report import LatencySummary, ServingReport, depth_histogram
+from repro.tracing.tracer import (
+    NULL_TRACER,
+    STAGE_BATCH_QUEUE,
+    STAGE_DEVICE_QUEUE,
+    STAGE_DEVICE_SERVICE,
+    STAGE_OVERHEAD,
+    Tracer,
+    resolve_tracer,
+)
 from repro.workloads.trace import ModelTrace
 
 if TYPE_CHECKING:  # repro.cluster imports this package; import only for types
@@ -55,6 +64,7 @@ def simulate_serving(
     reset_first: bool = True,
     latency_model: Optional[NVMLatencyModel] = None,
     cluster: Optional["ClusterStore"] = None,
+    tracing: Optional["TracingConfig | Tracer"] = None,
 ) -> ServingReport:
     """Serve a model trace through a store under an open-loop arrival process.
 
@@ -86,12 +96,26 @@ def simulate_serving(
         p999 reflects fan-in stragglers, retries and hedges, and the
         cluster's ``request_overhead_us`` replaces the front-end's (no
         double counting).  ``store`` then only supplies defaults/seed.
+    tracing:
+        Per-request span tracing (:mod:`repro.tracing`): a
+        :class:`~repro.core.config.TracingConfig` builds a fresh tracer
+        (when enabled), an existing :class:`~repro.tracing.Tracer` is used
+        as-is (tests pass one in to inspect raw spans), ``None`` defaults
+        to ``store.config.tracing`` — disabled by default.  When enabled,
+        every request's latency decomposes into ``batcher.queue`` →
+        ``device.queue`` → ``device.service`` → ``overhead`` spans (or the
+        cluster's fan-out span tree) and the report carries the tracer's
+        JSON summary in ``report.trace``.  Tracing never changes behavior.
     """
     # Imported here: repro.simulation imports this package at init time, so
     # a module-level import would be circular (same pattern as bandana.py).
     from repro.simulation.interleaved import iter_store_requests
 
     config = config or store.config.serving
+    tracer = resolve_tracer(
+        tracing if tracing is not None else store.config.tracing,
+        slo_latency_us=config.slo_latency_us,
+    )
     if reset_first:
         if cluster is not None:
             cluster.reset_serving_state()
@@ -107,7 +131,7 @@ def simulate_serving(
     batches = form_batches(arrival_us, config.max_batch_requests, config.max_linger_us)
     if cluster is not None:
         return _simulate_cluster_serving(
-            cluster, requests, arrival_us, batches, config
+            cluster, requests, arrival_us, batches, config, tracer
         )
 
     model = latency_model or NVMLatencyModel(block_bytes=store.config.block_bytes)
@@ -147,6 +171,43 @@ def simulate_serving(
         )
         batch_sizes[b] = batch.size
         last_completion_us = max(last_completion_us, record.completion_us)
+        if tracer.enabled:
+            # Retrospective spans: the batch's timeline is fully known, and
+            # the four stages tile the request's latency exactly —
+            # batcher.queue + device.queue + device.service + overhead ==
+            # completion - arrival + request_overhead_us.
+            for i in range(batch.start, batch.stop):
+                t_arrival = float(arrival_us[i])
+                tracer.begin_request(i, t_arrival)
+                tracer.span(
+                    i,
+                    STAGE_BATCH_QUEUE,
+                    t_arrival,
+                    batch.dispatch_us,
+                    batch=b,
+                    batch_size=batch.size,
+                )
+                tracer.span(
+                    i, STAGE_DEVICE_QUEUE, batch.dispatch_us, record.start_us
+                )
+                tracer.span(
+                    i,
+                    STAGE_DEVICE_SERVICE,
+                    record.start_us,
+                    record.completion_us,
+                    block_reads=record.block_reads,
+                    queue_depth=record.queue_depth,
+                    read_latency_us=record.read_latency_us,
+                )
+                tracer.span(
+                    i,
+                    STAGE_OVERHEAD,
+                    record.completion_us,
+                    record.completion_us + config.request_overhead_us,
+                )
+                tracer.end_request(
+                    i, record.completion_us + config.request_overhead_us
+                )
 
     stats_after = store.aggregate_stats()
     lookups = stats_after.lookups - stats_before.lookups
@@ -191,6 +252,7 @@ def simulate_serving(
         lookups=int(lookups),
         hit_rate=hits / lookups if lookups else 0.0,
         steady_state=steady_state,
+        trace=tracer.summary() if tracer.enabled else None,
     )
 
 
@@ -200,6 +262,7 @@ def _simulate_cluster_serving(
     arrival_us: np.ndarray,
     batches: List[Batch],
     config: ServingConfig,
+    tracer: Tracer = NULL_TRACER,
 ) -> ServingReport:
     """The cluster-routed serving path (see ``simulate_serving``'s ``cluster``).
 
@@ -207,19 +270,31 @@ def _simulate_cluster_serving(
     but timing inside the store is the cluster's: per-shard queueing on each
     node's FIFO clock, retries, hedges and fan-in.  Device-accountant
     metrics (queue-depth histogram, steady-state cross-check) do not apply —
-    each cluster node owns its device — and are reported empty.
+    each cluster node owns its device — and are reported empty.  Tracing is
+    the cluster's too: the tracer rides along on the store
+    (:meth:`~repro.cluster.store.ClusterStore.set_tracer`), which roots each
+    request at its *true* arrival and records the batcher wait plus the full
+    fan-out span tree.
     """
     n = len(requests)
     stats_before = cluster.aggregate_stats()
     latencies = np.empty(n, dtype=np.float64)
     batch_sizes = np.empty(len(batches), dtype=np.int64)
     last_completion_us = 0.0
-    for b, batch in enumerate(batches):
-        for i in range(batch.start, batch.stop):
-            outcome = cluster.serve_request(requests[i], now_us=float(batch.dispatch_us))
-            latencies[i] = outcome.completion_us - arrival_us[i]
-            last_completion_us = max(last_completion_us, outcome.completion_us)
-        batch_sizes[b] = batch.size
+    cluster.set_tracer(tracer)
+    try:
+        for b, batch in enumerate(batches):
+            for i in range(batch.start, batch.stop):
+                outcome = cluster.serve_request(
+                    requests[i],
+                    now_us=float(batch.dispatch_us),
+                    arrival_us=float(arrival_us[i]),
+                )
+                latencies[i] = outcome.completion_us - arrival_us[i]
+                last_completion_us = max(last_completion_us, outcome.completion_us)
+            batch_sizes[b] = batch.size
+    finally:
+        cluster.set_tracer(None)
     stats_after = cluster.aggregate_stats()
     lookups = stats_after.lookups - stats_before.lookups
     hits = stats_after.hits - stats_before.hits
@@ -243,4 +318,5 @@ def _simulate_cluster_serving(
         blocks_read=int(blocks_read),
         lookups=int(lookups),
         hit_rate=hits / lookups if lookups else 0.0,
+        trace=tracer.summary() if tracer.enabled else None,
     )

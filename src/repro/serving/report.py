@@ -11,7 +11,7 @@ the benchmark artifacts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -20,10 +20,33 @@ from repro.nvm.latency import LoadedLatency
 #: Percentiles reported for request latency.
 LATENCY_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
 
+#: Summary field per reported percentile, in :data:`LATENCY_PERCENTILES` order.
+_PERCENTILE_FIELDS = ("p50_us", "p95_us", "p99_us", "p999_us")
+
+
+def percentile_min_samples(percentile: float) -> int:
+    """Samples needed before ``percentile`` is a measurement, not a guess.
+
+    The rank of the p-th percentile needs at least ``100 / (100 - p)``
+    samples for one sample to sit *above* it — below that, interpolation
+    just quotes the max (p999 from 200 samples is the slowest request, not
+    a tail estimate).
+    """
+    if not 0.0 <= percentile < 100.0:
+        raise ValueError(f"percentile must be in [0, 100), got {percentile}")
+    # Round before ceiling: 100 - 99.9 carries float noise (0.09999...),
+    # and ceil would otherwise inflate p999's rank from 1000 to 1001.
+    return int(np.ceil(round(100.0 / (100.0 - percentile), 6)))
+
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Request-latency distribution summary, in microseconds."""
+    """Request-latency distribution summary, in microseconds.
+
+    ``samples`` is the number of latency samples behind the percentiles;
+    consumers should check :meth:`unsupported_percentiles` before quoting
+    tails (the benchmarks flag them in their artifacts).
+    """
 
     p50_us: float
     p95_us: float
@@ -31,12 +54,13 @@ class LatencySummary:
     p999_us: float
     mean_us: float
     max_us: float
+    samples: int = 0
 
     @classmethod
     def from_samples(cls, latencies_us: np.ndarray) -> "LatencySummary":
         latencies_us = np.asarray(latencies_us, dtype=np.float64)
         if latencies_us.size == 0:
-            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, samples=0)
         p50, p95, p99, p999 = np.percentile(latencies_us, LATENCY_PERCENTILES)
         return cls(
             p50_us=float(p50),
@@ -45,9 +69,18 @@ class LatencySummary:
             p999_us=float(p999),
             mean_us=float(latencies_us.mean()),
             max_us=float(latencies_us.max()),
+            samples=int(latencies_us.size),
         )
 
-    def to_dict(self) -> Dict[str, float]:
+    def unsupported_percentiles(self) -> List[str]:
+        """Summary fields whose percentile rank exceeds the sample count."""
+        return [
+            name
+            for name, percentile in zip(_PERCENTILE_FIELDS, LATENCY_PERCENTILES)
+            if self.samples < percentile_min_samples(percentile)
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
         return {
             "p50_us": self.p50_us,
             "p95_us": self.p95_us,
@@ -55,22 +88,35 @@ class LatencySummary:
             "p999_us": self.p999_us,
             "mean_us": self.mean_us,
             "max_us": self.max_us,
+            "samples": self.samples,
+            "unsupported_percentiles": self.unsupported_percentiles(),
         }
 
 
 def depth_histogram(depths: np.ndarray) -> Dict[int, int]:
     """Power-of-two bucketed histogram of queue-depth samples.
 
-    Keys are bucket upper edges (1, 2, 4, ...): depth ``d`` lands in the
+    Keys are bucket upper edges (0, 1, 2, 4, ...): depth ``d`` lands in the
     smallest bucket with ``d <= key``.  Depths span several orders of
-    magnitude once the device saturates, so exact counts would be noise.
+    magnitude once the device saturates, so exact counts would be noise —
+    except the ``0`` bucket, which is exact: an idle device is a different
+    fact than depth-1 occupancy and must not be clamped into it.
     """
     depths = np.asarray(depths, dtype=np.float64)
     if depths.size == 0:
         return {}
-    exponents = np.ceil(np.log2(np.maximum(depths, 1.0))).astype(np.int64)
-    buckets, counts = np.unique(exponents, return_counts=True)
-    return {int(1 << int(b)): int(c) for b, c in zip(buckets, counts)}
+    hist: Dict[int, int] = {}
+    idle = int(np.count_nonzero(depths <= 0.0))
+    if idle:
+        hist[0] = idle
+    occupied = depths[depths > 0.0]
+    if occupied.size:
+        exponents = np.ceil(np.log2(np.maximum(occupied, 1.0))).astype(np.int64)
+        buckets, counts = np.unique(exponents, return_counts=True)
+        hist.update(
+            {int(1 << int(b)): int(c) for b, c in zip(buckets, counts)}
+        )
+    return hist
 
 
 @dataclass(frozen=True)
@@ -104,6 +150,10 @@ class ServingReport:
     #: predicts for this run's average application throughput and measured
     #: effective bandwidth (``None`` when the run never touched the device).
     steady_state: Optional[LoadedLatency] = None
+    #: JSON-ready tracer summary (``repro.tracing``): per-stage latency
+    #: breakdown plus the top-K slowest requests' critical paths.  ``None``
+    #: unless the run was traced (``TracingConfig.enabled``).
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def slo_violation_rate(self) -> float:
@@ -142,4 +192,5 @@ class ServingReport:
                     "p99_us": self.steady_state.p99_us,
                 }
             ),
+            "trace": self.trace,
         }

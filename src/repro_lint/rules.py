@@ -363,7 +363,9 @@ class TimeUnitMixRule(Rule):
 
 # --------------------------------------------------------------------------- R4
 #: Public config dataclasses whose every field must be validated.
-CONFIG_CLASSES = frozenset({"BandanaConfig", "ServingConfig", "ClusterConfig"})
+CONFIG_CLASSES = frozenset(
+    {"BandanaConfig", "ServingConfig", "ClusterConfig", "TracingConfig"}
+)
 
 #: Method names R4 accepts as "the validation hook".
 VALIDATION_METHODS = ("__post_init__", "validate")
