@@ -1,0 +1,143 @@
+"""Perf tracking: compare fresh benchmark numbers against the committed JSON.
+
+Run from the repository root (the CI perf-track job does)::
+
+    python benchmarks/perf_track.py
+
+Two legs, with deliberately different tolerances:
+
+1. **Simulated metrics (tight).**  ``BENCH_shared_device.json`` carries a
+   ``smoke_reference`` section produced at the CI-sized configuration
+   (:data:`bench_shared_device.SMOKE_PARAMS`).  The serving simulation is a
+   deterministic function of (store, trace, config, seed) — no wall clock
+   anywhere — so this leg regenerates the section and compares **every**
+   recorded number with a 1% relative tolerance (platform float drift only;
+   any real behaviour change lands far outside it).  A mismatch means a
+   change altered simulated behaviour without regenerating the benchmark
+   artifact: either a regression, or an intended change whose author must
+   rerun ``python benchmarks/bench_shared_device.py`` and commit the JSON.
+2. **Wall-clock throughput (loose).**  The committed artifact records the
+   replay throughput (``wall_clock.lookups_per_sec``) measured at
+   commit time.  CI runners are noisy and slower than dev machines, so this
+   leg only fails when fresh throughput drops below
+   ``WALL_CLOCK_FLOOR`` (default 0.2×) of the committed number — tolerant
+   of runner noise, loud on order-of-magnitude algorithmic regressions.
+   Skipped (with a notice) when the artifact has no ``wall_clock`` section
+   (i.e. only ``--smoke`` runs were committed).
+
+Exit status is non-zero on any regression, and every offending metric is
+printed with its committed and fresh values.
+"""
+
+import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
+
+import json
+import math
+import sys
+from typing import Any, List
+
+from bench_shared_device import (
+    JSON_PATH,
+    SMOKE_PARAMS,
+    measure_wall_clock,
+    run_suite,
+)
+
+#: Relative tolerance of the simulated leg (deterministic numbers).
+SIM_RTOL = 0.01
+#: Fresh wall-clock throughput must stay above this fraction of committed.
+WALL_CLOCK_FLOOR = 0.2
+
+
+def compare_trees(committed: Any, fresh: Any, path: str, problems: List[str]) -> None:
+    """Recursively compare two JSON trees, recording every numeric drift."""
+    if isinstance(committed, dict) and isinstance(fresh, dict):
+        for key in sorted(set(committed) | set(fresh)):
+            if key not in committed or key not in fresh:
+                problems.append(f"{path}.{key}: present on only one side")
+                continue
+            compare_trees(committed[key], fresh[key], f"{path}.{key}", problems)
+    elif isinstance(committed, list) and isinstance(fresh, list):
+        if len(committed) != len(fresh):
+            problems.append(
+                f"{path}: length {len(committed)} (committed) vs {len(fresh)} (fresh)"
+            )
+            return
+        for i, (a, b) in enumerate(zip(committed, fresh)):
+            compare_trees(a, b, f"{path}[{i}]", problems)
+    elif isinstance(committed, bool) or isinstance(fresh, bool):
+        if committed != fresh:
+            problems.append(f"{path}: {committed} (committed) vs {fresh} (fresh)")
+    elif isinstance(committed, (int, float)) and isinstance(fresh, (int, float)):
+        if not math.isclose(committed, fresh, rel_tol=SIM_RTOL, abs_tol=1e-9):
+            problems.append(f"{path}: {committed} (committed) vs {fresh} (fresh)")
+    elif committed != fresh:
+        problems.append(f"{path}: {committed!r} (committed) vs {fresh!r} (fresh)")
+
+
+def check_simulated(committed: dict) -> List[str]:
+    """Leg 1: the deterministic smoke-reference numbers must reproduce."""
+    reference = committed.get("smoke_reference")
+    if reference is None:
+        return [
+            "BENCH_shared_device.json has no smoke_reference section; "
+            "rerun python benchmarks/bench_shared_device.py"
+        ]
+    fresh = run_suite(**SMOKE_PARAMS)
+    problems: List[str] = []
+    compare_trees(reference, fresh, "smoke_reference", problems)
+    return problems
+
+
+def check_wall_clock(committed: dict) -> List[str]:
+    """Leg 2: replay throughput must stay within a loose ratio floor."""
+    reference = committed.get("wall_clock")
+    if reference is None:
+        print(
+            "perf-track: no wall_clock section in the committed artifact "
+            "(smoke-only run committed); skipping the wall-clock leg"
+        )
+        return []
+    fresh = measure_wall_clock(eval_multiplier=reference["eval_multiplier"])
+    committed_rate = reference["lookups_per_sec"]
+    fresh_rate = fresh["lookups_per_sec"]
+    ratio = fresh_rate / committed_rate
+    print(
+        f"perf-track: replay throughput {fresh_rate:,.0f} lookups/s fresh vs "
+        f"{committed_rate:,.0f} committed ({ratio:.2f}x, floor "
+        f"{WALL_CLOCK_FLOOR:.2f}x)"
+    )
+    if ratio < WALL_CLOCK_FLOOR:
+        return [
+            f"wall_clock.lookups_per_sec: {fresh_rate:,.0f} fresh is below "
+            f"{WALL_CLOCK_FLOOR:.2f}x of the committed {committed_rate:,.0f} — "
+            "an order-of-magnitude replay regression, not runner noise"
+        ]
+    return []
+
+
+def main() -> int:
+    try:
+        with open(JSON_PATH) as handle:
+            committed = json.load(handle)
+    except FileNotFoundError:
+        print("perf-track: BENCH_shared_device.json is missing; run "
+              "python benchmarks/bench_shared_device.py and commit the artifact")
+        return 1
+    problems = check_simulated(committed)
+    problems += check_wall_clock(committed)
+    if problems:
+        print(f"perf-track: {len(problems)} regression(s) against committed artifacts:")
+        for problem in problems:
+            print(f"  {problem}")
+        print(
+            "If this change is intentional, rerun "
+            "python benchmarks/bench_shared_device.py and commit the new JSON."
+        )
+        return 1
+    print("perf-track: all tracked numbers match the committed artifacts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

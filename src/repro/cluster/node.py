@@ -1,4 +1,4 @@
-"""One simulated store node: shard engines, a FIFO clock, admission control.
+"""One simulated store node: shard engines, a device bank, admission control.
 
 A :class:`ClusterNode` owns the *node half* of the spec/state split
 (:mod:`repro.core.tablespec`): for every table it serves, a
@@ -9,22 +9,29 @@ are fully independent — each replica's cache contents reflect exactly the
 traffic *that replica* served, so retries and hedges landing on a secondary
 warm the secondary, not the primary.
 
-Time is simulated: the node is one FIFO resource with a ``busy_until_us``
-clock.  A shard read arriving at ``t`` waits out the backlog, then runs for
-``(overhead + NVM read time) × slow-multiplier``.  **Admission control** is
-queue-level: when the backlog a new read would have to wait behind exceeds
-``admission_queue_slack ×`` the table's SLO, the node sheds the read
-immediately (a fast rejection the router can retry on another replica)
-instead of queueing it unboundedly — overload degrades, it does not melt.
+Time is simulated and owned by the shared device layer: the node holds a
+:class:`~repro.device.NVMDeviceBank` of ``devices_per_node`` physical
+devices (one by default — the node as a single FIFO resource, exactly the
+old hand-rolled ``busy_until_us`` clock) with every served table pinned to
+one of them.  A shard read arriving at ``t`` waits out its device's
+backlog, then runs for ``(overhead + NVM read time) × slow-multiplier`` —
+the *externally-priced* path: the engines price the reads, the bank
+serialises them.  **Admission control** is queue-level: when the backlog a
+new read would have to wait behind exceeds ``admission_queue_slack ×`` the
+table's SLO, the node sheds the read immediately (a fast rejection the
+router can retry on another replica) instead of queueing it unboundedly —
+overload degrades, it does not melt.
 
 A crashed node loses its DRAM on recovery: :meth:`ClusterNode.cold_restart`
-rebuilds every engine cold (fresh cache, fresh policy state, zeroed backlog)
-while keeping the cumulative :class:`~repro.caching.replay.ReplayStats`
-objects, so availability accounting spans the crash.
+rebuilds every engine cold (fresh cache, fresh policy state) while keeping
+the cumulative :class:`~repro.caching.replay.ReplayStats` objects, so
+availability accounting spans the crash — and re-anchors the device bank at
+the restart time (:meth:`~repro.device.NVMDeviceBank.rebase`), the same
+single definition of restart semantics warm-up rebase uses.
 
 The :class:`ShardServiceResult` split — ``queue_wait_us`` (FIFO backlog on
-this node's clock) vs ``service_us`` (overhead + NVM read time, stretched by
-any slow-node multiplier) — is what the router records as the
+this node's device) vs ``service_us`` (overhead + NVM read time, stretched
+by any slow-node multiplier) — is what the router records as the
 ``node.queue``/``node.service`` spans of a traced attempt
 (:mod:`repro.tracing`), and what the circuit breaker judges slowness by
 (service only; backlog is overload, not brokenness).
@@ -33,12 +40,13 @@ any slow-node multiplier) — is what the router records as the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.caching.engine import BatchReplayEngine
 from repro.core.tablespec import TableServingSpec
+from repro.device.bank import NVMDeviceBank
 
 
 @dataclass(frozen=True)
@@ -67,6 +75,11 @@ class ClusterNode:
         it occupies); sizes the node's share of each table's cache budget.
     node_overhead_us:
         Fixed service overhead per shard read.
+    devices_per_node:
+        Physical NVM devices in the node's bank.  ``1`` (the default) keeps
+        the node one FIFO resource — the pre-bank semantics, bit-identical;
+        more devices spread the node's tables round-robin so shard reads of
+        tables on different devices no longer queue behind each other.
     """
 
     def __init__(
@@ -75,6 +88,7 @@ class ClusterNode:
         specs: Mapping[str, TableServingSpec],
         owned_blocks: Mapping[str, int],
         node_overhead_us: float = 5.0,
+        devices_per_node: int = 1,
     ) -> None:
         self.index = index
         self.node_overhead_us = float(node_overhead_us)
@@ -90,15 +104,35 @@ class ClusterNode:
             self.engines[name] = spec.make_engine(
                 cache_size_vectors=self._cache_sizes[name]
             )
-        self.busy_until_us = 0.0
+        #: The node's physical devices: every served table pinned up front
+        #: (round-robin in spec order), records off — long chaos runs keep
+        #: only the O(1) aggregates.
+        self.bank = NVMDeviceBank(
+            num_devices=devices_per_node,
+            tables=self.engines.keys(),
+            keep_records=False,
+        )
         self.cold_restarts = 0
         #: Simulated time up to which crash-recovery has been checked.
         self.last_seen_us = 0.0
 
     # ----------------------------------------------------------------- timing
-    def queue_wait_us(self, at_us: float) -> float:
-        """Backlog a read arriving at ``at_us`` would wait behind."""
-        return max(0.0, self.busy_until_us - at_us)
+    @property
+    def busy_until_us(self) -> float:
+        """When the node's *last* device frees up (max over its bank)."""
+        return self.bank.free_at_us
+
+    def queue_wait_us(self, at_us: float, table_name: Optional[str] = None) -> float:
+        """Backlog a read arriving at ``at_us`` would wait behind.
+
+        Per-table when given (that table's device — what admission control
+        sheds against), else the worst backlog over the node's bank.
+        """
+        return self.bank.queue_wait_us(at_us, table_name)
+
+    def rebase(self, now_us: float = 0.0) -> None:
+        """Re-anchor the node's device clocks with empty backlogs."""
+        self.bank.rebase(now_us)
 
     # ---------------------------------------------------------------- serving
     def serve(
@@ -113,18 +147,23 @@ class ClusterNode:
         Replays the ids through the table's engine (updating cache, policy,
         device and stats exactly as single-store serving would), charges the
         resulting NVM read time plus the node overhead — stretched by the
-        active slow-node ``multiplier`` — behind the node's FIFO backlog,
-        and advances the clock.
+        active slow-node ``multiplier`` — behind the table's device backlog,
+        and advances that device's clock.
         """
         engine = self.engines[table_name]
         latency_before = engine.stats.total_latency_us
+        device = engine.device
+        blocks_before = device.blocks_read if device is not None else 0
         engine.replay_query(ids)
         device_us = engine.stats.total_latency_us - latency_before
+        blocks = (device.blocks_read if device is not None else 0) - blocks_before
         service_us = (self.node_overhead_us + device_us) * float(multiplier)
-        start_us = max(self.busy_until_us, arrive_us)
-        queue_wait = start_us - arrive_us
-        self.busy_until_us = start_us + service_us
-        return ShardServiceResult(queue_wait_us=queue_wait, service_us=service_us)
+        record = self.bank.serve_duration(
+            table_name, arrive_us, service_us, block_reads=blocks
+        )
+        return ShardServiceResult(
+            queue_wait_us=record.queue_wait_us, service_us=service_us
+        )
 
     def serves_table(self, table_name: str) -> bool:
         """Whether this node owns any shard of ``table_name``."""
@@ -137,14 +176,16 @@ class ClusterNode:
         The cumulative stats objects are kept (availability and hit-rate
         accounting span the crash); everything else — cache contents,
         pending-prefetch state, policy state, queued work — is lost, exactly
-        what a process restart costs.
+        what a process restart costs.  Backlog loss is the device bank's
+        :meth:`~repro.device.NVMDeviceBank.rebase`, defined once for every
+        layer.
         """
         for name, spec in self._specs.items():
             self.engines[name] = spec.make_engine(
                 cache_size_vectors=self._cache_sizes[name],
                 stats=self.engines[name].stats,
             )
-        self.busy_until_us = now_us
+        self.rebase(now_us)
         self.cold_restarts += 1
 
     # ---------------------------------------------------------------- metrics

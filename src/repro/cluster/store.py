@@ -288,6 +288,7 @@ class ClusterStore:
                 specs={name: self.specs[name] for name in owned[i]},
                 owned_blocks=owned[i],
                 node_overhead_us=self.config.node_overhead_us,
+                devices_per_node=self.config.devices_per_node,
             )
             for i in range(self.config.num_nodes)
         ]
@@ -329,7 +330,7 @@ class ClusterStore:
         """
         self._clock_us = 0.0
         for node in self.nodes:
-            node.busy_until_us = 0.0
+            node.rebase(0.0)
             node.last_seen_us = 0.0
         # Breaker open-until timestamps and hedge-delay samples live in the
         # pre-rebase clock domain; carrying them across would leave a node
@@ -571,7 +572,7 @@ class ClusterStore:
                 backoff_us = min(2.0 * backoff_us, config.retry_backoff_cap_us)
                 continue
             arrive_us = t + link_delay_us
-            wait_us = node.queue_wait_us(arrive_us)
+            wait_us = node.queue_wait_us(arrive_us, table_name)
             if wait_us > config.admission_queue_slack * config.slo_us(table_name):
                 # Fast rejection: the node answers "busy" after one round
                 # trip instead of queueing the read unboundedly.
@@ -769,7 +770,7 @@ class ClusterStore:
                     arrive_us=arrive_us,
                     outcome="link_loss",
                 )
-            wait_us = node.queue_wait_us(arrive_us)
+            wait_us = node.queue_wait_us(arrive_us, table_name)
             if wait_us > config.admission_queue_slack * config.slo_us(table_name):
                 return _HedgeAttempt(
                     node_index=node_index,

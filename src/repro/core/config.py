@@ -29,7 +29,45 @@ ALLOCATION_POLICIES = ("hit-rate", "proportional", "uniform")
 PARTITIONERS = ("shp", "kmeans", "recursive-kmeans", "frequency", "identity")
 
 #: Arrival processes the serving front-end can generate.
-ARRIVAL_PROCESSES = ("poisson", "mmpp")
+ARRIVAL_PROCESSES = ("poisson", "mmpp", "closed-loop")
+
+#: Ways the serving front-end can account device time.
+DEVICE_ACCOUNTING_MODES = ("legacy", "per-table", "shared")
+
+
+@dataclass(frozen=True)
+class DeviceBankConfig:
+    """Knobs of the shared NVM device layer (:mod:`repro.device`).
+
+    Attributes
+    ----------
+    accounting:
+        How ``simulate_serving`` accounts device time.  ``"legacy"`` (the
+        default) keeps the original single-accountant path — one FIFO clock
+        charged each batch's *total* misses — bit-identical to the golden
+        pins.  ``"per-table"`` gives every table a private device (each
+        table's misses queue only behind their own table — the old
+        accounting made honest, and the counterfactual the paper's shared
+        hardware is compared against).  ``"shared"`` pins all tables onto
+        ``devices_per_host`` physical devices round-robin, so tables
+        sharing a device genuinely contend — the paper's single-host
+        deployment.
+    devices_per_host:
+        Physical NVM devices in the host's bank under ``"shared"``
+        accounting (ignored by the other modes: ``"legacy"`` is one clock
+        by construction, ``"per-table"`` is one device per table).
+    """
+
+    accounting: str = "legacy"
+    devices_per_host: int = 1
+
+    def __post_init__(self) -> None:
+        if self.accounting not in DEVICE_ACCOUNTING_MODES:
+            raise ValueError(
+                f"accounting must be one of {DEVICE_ACCOUNTING_MODES}, "
+                f"got {self.accounting!r}"
+            )
+        check_int_at_least(self.devices_per_host, 1, "devices_per_host")
 
 
 @dataclass(frozen=True)
@@ -44,8 +82,12 @@ class ServingConfig:
         ``arrival_rate_rps`` offer the same average load regardless of the
         process shape.
     arrival_process:
-        ``"poisson"`` (memoryless open-loop arrivals) or ``"mmpp"`` (a
-        two-state Markov-modulated Poisson process producing bursts).
+        ``"poisson"`` (memoryless open-loop arrivals), ``"mmpp"`` (a
+        two-state Markov-modulated Poisson process producing bursts) or
+        ``"closed-loop"`` (a fixed population of ``closed_loop_clients``
+        clients, each issuing its next request one exponential think time
+        after the previous response — RPC fan-in, where saturation slows
+        the clients down instead of growing the queue without bound).
     mmpp_burst_factor:
         Ratio of the bursty state's arrival rate to the quiet state's.
     mmpp_burst_fraction:
@@ -71,6 +113,28 @@ class ServingConfig:
     throughput_window_s:
         Trailing window over which the latency accountant measures device
         throughput for the loaded-latency feedback.
+    closed_loop_clients:
+        Client population size under ``"closed-loop"`` arrivals — a hard
+        cap on in-flight requests (the concurrency invariant the tests
+        pin).
+    closed_loop_think_s:
+        Mean think time (exponential) between a client's response and its
+        next request.  The defaults offer ``32 / 0.016 s = 2000`` nominal
+        rps, matching ``arrival_rate_rps``'s open-loop default.
+    device:
+        Shared NVM device layer knobs (:class:`DeviceBankConfig`):
+        accounting mode (legacy / per-table / shared) and the host's
+        physical device count.
+    admission_queue_slack:
+        Single-host admission control, ported from the cluster tier: at
+        batch dispatch, a request is shed (fast rejection, no cache or
+        device work) when any of its tables' device backlog exceeds
+        ``slack ×`` that table's SLO.  ``None`` (the default) disables
+        shedding entirely — the golden-pinned behaviour.
+    table_slo_us:
+        Per-table SLO overrides for admission control, a ``(name, slo_us)``
+        tuple sequence; tables not named fall back to ``slo_latency_us``
+        (see :meth:`slo_us`).
     seed:
         Seed of the arrival process; ``None`` inherits the store seed.
     """
@@ -86,6 +150,11 @@ class ServingConfig:
     request_overhead_us: float = 5.0
     max_device_queue_depth: float = 64.0
     throughput_window_s: float = 0.05
+    closed_loop_clients: int = 32
+    closed_loop_think_s: float = 0.016
+    device: DeviceBankConfig = DeviceBankConfig()
+    admission_queue_slack: Optional[float] = None
+    table_slo_us: Sequence[Tuple[str, float]] = ()
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -101,6 +170,11 @@ class ServingConfig:
         if self.request_overhead_us < 0:
             raise ValueError("request_overhead_us must be >= 0")
         check_fraction(self.mmpp_burst_fraction, "mmpp_burst_fraction")
+        check_int_at_least(self.closed_loop_clients, 1, "closed_loop_clients")
+        check_positive(self.closed_loop_think_s, "closed_loop_think_s")
+        check_instance(self.device, DeviceBankConfig, "device")
+        if self.admission_queue_slack is not None:
+            check_positive(self.admission_queue_slack, "admission_queue_slack")
         check_seed(self.seed, "seed")
         if self.arrival_process not in ARRIVAL_PROCESSES:
             raise ValueError(
@@ -111,6 +185,17 @@ class ServingConfig:
             raise ValueError(
                 "mmpp_burst_fraction must lie strictly between 0 and 1"
             )
+        slos = tuple((str(name), float(slo)) for name, slo in self.table_slo_us)
+        for name, slo in slos:
+            check_positive(slo, f"table_slo_us[{name!r}]")
+        object.__setattr__(self, "table_slo_us", slos)
+
+    def slo_us(self, table_name: str) -> float:
+        """The admission-control latency SLO for one table."""
+        for name, slo in self.table_slo_us:
+            if name == table_name:
+                return slo
+        return self.slo_latency_us
 
 
 @dataclass(frozen=True)
@@ -171,6 +256,12 @@ class ClusterConfig:
     virtual_nodes:
         Virtual nodes per physical node on the hash ring — more vnodes
         smooth the per-node ownership shares at the cost of ring size.
+    devices_per_node:
+        Physical NVM devices in each node's bank (:mod:`repro.device`).
+        ``1`` (the default) keeps every node a single FIFO resource — the
+        pre-bank semantics, golden-pinned; more devices spread a node's
+        tables round-robin so reads of co-hosted tables stop queueing
+        behind each other.
 
     Per-attempt costs
     -----------------
@@ -226,6 +317,7 @@ class ClusterConfig:
     num_nodes: int = 4
     replication: int = 2
     virtual_nodes: int = 64
+    devices_per_node: int = 1
     node_overhead_us: float = 5.0
     link_delay_us: float = 2.0
     shard_timeout_us: float = 1000.0
@@ -248,6 +340,7 @@ class ClusterConfig:
         check_int_at_least(self.num_nodes, 1, "num_nodes")
         check_int_at_least(self.replication, 1, "replication")
         check_int_at_least(self.virtual_nodes, 1, "virtual_nodes")
+        check_int_at_least(self.devices_per_node, 1, "devices_per_node")
         check_int_at_least(self.max_attempts, 1, "max_attempts")
         check_int_at_least(
             self.breaker_failure_threshold, 1, "breaker_failure_threshold"

@@ -1,0 +1,238 @@
+"""A bank of K physical NVM devices behind a table→device mapping.
+
+:class:`NVMDeviceBank` is the resource abstraction both serving tiers sit
+on: a host (or cluster node) owns ``num_devices`` physical devices, every
+embedding table is pinned to exactly one of them (round-robin over first-use
+order, or an explicit mapping), and all work for a table queues FIFO on its
+device.  One device shared by many tables is the paper's actual single-host
+deployment — cross-table contention is real because the *hardware* is
+shared; one device per table reproduces the older per-table accounting as
+the counterfactual.
+
+The bank adds nothing to the per-device arithmetic — that is
+:class:`~repro.device.clock.DeviceClock`, bit-identical to the original
+serving accountant — it contributes the mapping, bank-wide observability
+(conservation invariant: total busy time ≤ wall time × K), rebase/restart
+plumbing, and the ``device.queue`` / ``device.service`` span emission used
+by every client so single-host and cluster traces attribute identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.device.clock import DeviceClock, DeviceServiceRecord
+from repro.nvm.latency import NVMLatencyModel
+from repro.tracing.tracer import (
+    ATTR_PARALLEL,
+    STAGE_DEVICE_QUEUE,
+    STAGE_DEVICE_SERVICE,
+    Tracer,
+)
+from repro.utils.validation import check_int_at_least
+
+
+class NVMDeviceBank:
+    """K FIFO NVM devices with a table→device mapping (see module docstring).
+
+    Parameters
+    ----------
+    num_devices:
+        Physical devices in the bank (``K``).
+    latency_model:
+        Shared latency/bandwidth model for device-priced work; ``None`` for
+        banks whose clients price their own work (cluster nodes).
+    block_bytes:
+        Bytes per NVM block read.
+    max_queue_depth / throughput_window_s:
+        Per-device pricing knobs (see :class:`~repro.device.clock.DeviceClock`).
+    tables:
+        Tables to pin up front, round-robin in iteration order.  Tables not
+        pre-pinned are pinned on first use, also round-robin — deterministic
+        as long as the call order is (everything on the simulated clock is).
+    keep_records:
+        Retain per-serve records on every device (serving reports need
+        them; long cluster runs keep only O(1) aggregates).
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        latency_model: Optional[NVMLatencyModel] = None,
+        block_bytes: int = 4096,
+        max_queue_depth: float = 64.0,
+        throughput_window_s: float = 0.05,
+        tables: Iterable[str] = (),
+        keep_records: bool = True,
+    ) -> None:
+        check_int_at_least(num_devices, 1, "num_devices")
+        self.devices: List[DeviceClock] = [
+            DeviceClock(
+                latency_model,
+                block_bytes=block_bytes,
+                max_queue_depth=max_queue_depth,
+                throughput_window_s=throughput_window_s,
+                index=i,
+                keep_records=keep_records,
+            )
+            for i in range(num_devices)
+        ]
+        self._table_device: Dict[str, int] = {}
+        for name in tables:
+            self.map_table(name)
+
+    # ---------------------------------------------------------------- mapping
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def map_table(self, table_name: str) -> int:
+        """Pin ``table_name`` to a device (idempotent); returns its index.
+
+        Assignment is round-robin over first-use order — with ``K >=`` the
+        table count every table gets a private device (the per-table
+        counterfactual); with ``K = 1`` everything shares one device.
+        """
+        index = self._table_device.get(table_name)
+        if index is None:
+            index = len(self._table_device) % len(self.devices)
+            self._table_device[table_name] = index
+        return index
+
+    def device_of(self, table_name: str) -> DeviceClock:
+        """The device serving ``table_name`` (pinning it on first use)."""
+        return self.devices[self.map_table(table_name)]
+
+    def table_mapping(self) -> Dict[str, int]:
+        """Snapshot of the table→device pinning."""
+        return dict(self._table_device)
+
+    # ----------------------------------------------------------------- timing
+    def queue_wait_us(self, at_us: float, table_name: Optional[str] = None) -> float:
+        """Backlog work arriving at ``at_us`` would wait behind.
+
+        With a ``table_name`` this is that table's device's backlog — the
+        quantity admission control sheds against; without one it is the
+        worst backlog over the bank.
+        """
+        if table_name is not None:
+            return self.device_of(table_name).queue_wait_us(at_us)
+        return max(device.queue_wait_us(at_us) for device in self.devices)
+
+    @property
+    def free_at_us(self) -> float:
+        """When the *last* device frees up (max over the bank)."""
+        return max(device.free_at_us for device in self.devices)
+
+    def rebase(self, now_us: float = 0.0) -> None:
+        """Re-anchor every device at ``now_us`` with empty backlogs.
+
+        This is the one definition of restart semantics: warm-up rebase
+        (``now_us = 0``) and node cold restarts both route here.
+        """
+        for device in self.devices:
+            device.rebase(now_us)
+
+    # ------------------------------------------------------------------ serve
+    def serve_blocks(
+        self, table_name: str, dispatch_us: float, block_reads: int
+    ) -> DeviceServiceRecord:
+        """Price and serve ``block_reads`` for one table on its device."""
+        return self.device_of(table_name).serve_blocks(
+            dispatch_us, block_reads, table=table_name
+        )
+
+    def serve_duration(
+        self,
+        table_name: str,
+        arrive_us: float,
+        service_us: float,
+        block_reads: int = 0,
+    ) -> DeviceServiceRecord:
+        """Serve externally-priced work for one table on its device."""
+        return self.device_of(table_name).serve_duration(
+            arrive_us, service_us, block_reads=block_reads, table=table_name
+        )
+
+    # ---------------------------------------------------------------- tracing
+    @staticmethod
+    def emit_device_spans(
+        tracer: Tracer,
+        request_id: int,
+        record: DeviceServiceRecord,
+        parent_id: Optional[int] = None,
+        parallel: bool = False,
+    ) -> None:
+        """Record one serve as ``device.queue`` + ``device.service`` spans.
+
+        Emitted from the shared layer so single-host and cluster traces
+        attribute device time identically: the queue span covers dispatch →
+        device start (FIFO backlog), the service span covers start →
+        completion with the pricing inputs as attributes.  ``parent_id``
+        defaults to the request's root span; ``parallel`` marks the spans as
+        concurrent siblings (a multi-table request's per-device charges
+        overlap by construction).
+        """
+        attrs: Dict[str, object] = {"device": record.device_index}
+        if record.table is not None:
+            attrs["table"] = record.table
+        if parallel:
+            attrs[ATTR_PARALLEL] = True
+        tracer.span(
+            request_id,
+            STAGE_DEVICE_QUEUE,
+            record.dispatch_us,
+            record.start_us,
+            parent_id=parent_id,
+            **attrs,
+        )
+        tracer.span(
+            request_id,
+            STAGE_DEVICE_SERVICE,
+            record.start_us,
+            record.completion_us,
+            parent_id=parent_id,
+            block_reads=record.block_reads,
+            queue_depth=record.queue_depth,
+            read_latency_us=record.read_latency_us,
+            **attrs,
+        )
+
+    # ---------------------------------------------------------------- metrics
+    def records(self) -> List[DeviceServiceRecord]:
+        """All retained records across the bank, in serve order per device."""
+        out: List[DeviceServiceRecord] = []
+        for device in self.devices:
+            out.extend(device.records)
+        return out
+
+    def busy_us(self) -> List[float]:
+        """Per-device cumulative busy time (FIFO ⇒ ≤ wall time each)."""
+        return [device.busy_us for device in self.devices]
+
+    def total_busy_us(self) -> float:
+        """Bank-wide busy time (conservation: ≤ wall time × K)."""
+        return sum(device.busy_us for device in self.devices)
+
+    def depth_histograms(self) -> List[Dict[int, int]]:
+        """Per-device queue-depth histograms (counts sum to serve calls)."""
+        return [dict(device.depth_hist) for device in self.devices]
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready observability snapshot (benchmark artifacts)."""
+        return {
+            "num_devices": len(self.devices),
+            "table_mapping": dict(self._table_device),
+            "per_device": [
+                {
+                    "serves": device.serves,
+                    "blocks_issued": device.blocks_issued,
+                    "busy_us": device.busy_us,
+                    "free_at_us": device.free_at_us,
+                    "depth_hist": {
+                        str(k): v for k, v in sorted(device.depth_hist.items())
+                    },
+                }
+                for device in self.devices
+            ],
+        }

@@ -32,7 +32,21 @@ a simulation is a deterministic function of (store, trace, config, seed):
   trailing-window **device throughput** back into
   :meth:`repro.nvm.latency.NVMLatencyModel.loaded_latency` — so per-request
   latency reflects the device-load feedback the paper measures, including
-  the blow-up past the saturation knee.
+  the blow-up past the saturation knee.  The accountant is a thin adapter
+  over the shared device layer (:mod:`repro.device`); selecting
+  ``ServingConfig.device`` accounting modes other than the default
+  ``"legacy"`` puts each table's misses on its own device of an
+  :class:`~repro.device.NVMDeviceBank` (``"per-table"``) or pins all tables
+  onto ``devices_per_host`` shared devices (``"shared"`` — the paper's
+  actual deployment, where co-located tables contend for the same
+  hardware).
+* A **closed-loop** mode (``arrival_process="closed-loop"``) replaces the
+  precomputed arrival array with a fixed client population
+  (:class:`~repro.serving.arrivals.ClosedLoopPopulation`) whose next
+  arrivals depend on completions, and **single-host admission control**
+  (``ServingConfig.admission_queue_slack``) sheds requests whose tables'
+  device backlog exceeds ``slack ×`` the table SLO — both measured in the
+  same report (``requests_shed`` / ``shed_rate`` / ``device_bank``).
 * :mod:`~repro.serving.report` condenses the run into a
   :class:`~repro.serving.report.ServingReport` (latency percentiles,
   throughput, batch-size and queue-depth histograms, SLO violations, and a
@@ -59,9 +73,11 @@ tracer (the default) is a no-op singleton behind one branch per site —
 behavior is bit-identical either way.
 """
 
-from repro.core.config import ServingConfig
+from repro.core.config import DeviceBankConfig, ServingConfig
+from repro.device import NVMDeviceBank
 from repro.serving.accountant import BatchServiceRecord, DeviceLatencyAccountant
 from repro.serving.arrivals import (
+    ClosedLoopPopulation,
     arrival_times,
     mmpp_arrival_times,
     poisson_arrival_times,
@@ -75,9 +91,12 @@ from repro.serving.report import (
 )
 
 __all__ = [
+    "DeviceBankConfig",
+    "NVMDeviceBank",
     "ServingConfig",
     "BatchServiceRecord",
     "DeviceLatencyAccountant",
+    "ClosedLoopPopulation",
     "arrival_times",
     "mmpp_arrival_times",
     "poisson_arrival_times",

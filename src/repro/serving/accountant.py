@@ -17,6 +17,15 @@ batch it
    :meth:`repro.nvm.device.NVMDevice.read_blocks`), serialised behind any
    batch the device is still serving.
 
+Since the shared device layer landed, all of that arithmetic lives in
+:class:`repro.device.clock.DeviceClock` — the single FIFO-device
+implementation both the serving tier and the cluster nodes sit on — and
+this class is a thin adapter over a **1-device**
+:class:`~repro.device.bank.NVMDeviceBank`-style clock.  The adapter is
+bit-identical to the pre-refactor accountant (the golden serving pins
+verify it); multi-device accounting is ``simulate_serving``'s shared-device
+modes, which use a real bank directly.
+
 Everything runs on the simulated clock — there are no wall-time sleeps — and
 every quantity is a deterministic function of the dispatch sequence, which is
 what lets the golden tests pin serving percentiles bit for bit.
@@ -24,35 +33,22 @@ what lets the golden tests pin serving percentiles bit for bit.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from typing import List
 
+from repro.device.clock import DeviceClock, DeviceServiceRecord
 from repro.nvm.latency import NVMLatencyModel
-from repro.utils.units import s_to_us
 
-
-@dataclass(frozen=True)
-class BatchServiceRecord:
-    """What the accountant decided for one dispatched batch.
-
-    ``start_us`` is when the device actually began this batch's reads —
-    ``completion_us - start_us`` is pure service time and
-    ``start_us - dispatch_us`` is FIFO queue wait behind earlier batches,
-    the split the tracer records as ``device.queue`` vs ``device.service``.
-    """
-
-    dispatch_us: float
-    start_us: float
-    completion_us: float
-    block_reads: int
-    queue_depth: float
-    device_mbps: float
-    read_latency_us: float
+#: One dispatched batch's service decision.  Historical alias: the serving
+#: tier predates the shared device layer; its record type is now the device
+#: layer's (a strict superset — ``device_index``/``table`` ride along).
+BatchServiceRecord = DeviceServiceRecord
 
 
 class DeviceLatencyAccountant:
     """FIFO NVM-device clock with load-feedback latency pricing.
+
+    Thin adapter over one :class:`repro.device.clock.DeviceClock` (see
+    module docstring).
 
     Parameters
     ----------
@@ -74,25 +70,42 @@ class DeviceLatencyAccountant:
         max_queue_depth: float = 64.0,
         throughput_window_s: float = 0.05,
     ) -> None:
-        self.latency_model = latency_model
-        self.block_bytes = int(block_bytes)
-        self.max_queue_depth = float(max_queue_depth)
-        # Normalised to *integer* µs at the boundary: 0.05 * 1e6 is
-        # 50000.000000000007 in floats, and window pruning must not depend
-        # on that representation noise.
-        self.window_us = s_to_us(throughput_window_s)
-        self.free_at_us = 0.0
-        self.records: List[BatchServiceRecord] = []
-        # Issue log for the trailing-window throughput measurement and the
-        # in-flight scan; dispatches are non-decreasing, so both prune with
-        # a monotone pointer (amortised O(1) per batch).
-        self._issue_us: List[float] = []
-        self._issue_blocks: List[int] = []
-        self._completion_us: List[float] = []
-        self._window_start = 0
-        self._window_blocks = 0
-        self._inflight_start = 0
-        self._inflight_blocks = 0
+        self.device = DeviceClock(
+            latency_model,
+            block_bytes=block_bytes,
+            max_queue_depth=max_queue_depth,
+            throughput_window_s=throughput_window_s,
+        )
+
+    # ------------------------------------------------------- adapter surface
+    @property
+    def latency_model(self) -> NVMLatencyModel:
+        assert self.device.latency_model is not None
+        return self.device.latency_model
+
+    @property
+    def block_bytes(self) -> int:
+        return self.device.block_bytes
+
+    @property
+    def max_queue_depth(self) -> float:
+        return self.device.max_queue_depth
+
+    @property
+    def window_us(self) -> int:
+        return self.device.window_us
+
+    @property
+    def free_at_us(self) -> float:
+        return self.device.free_at_us
+
+    @property
+    def records(self) -> List[BatchServiceRecord]:
+        return self.device.records
+
+    def queue_wait_us(self, at_us: float) -> float:
+        """Backlog a batch dispatched at ``at_us`` would wait behind."""
+        return self.device.queue_wait_us(at_us)
 
     # ------------------------------------------------------------------ serve
     def serve_batch(self, dispatch_us: float, block_reads: int) -> BatchServiceRecord:
@@ -103,67 +116,4 @@ class DeviceLatencyAccountant:
         A batch with zero reads (all lookups hit DRAM) never visits the
         device and completes at its dispatch time.
         """
-        if block_reads < 0:
-            raise ValueError("block_reads must be >= 0")
-        self._prune(dispatch_us)
-        outstanding = self._inflight_blocks + block_reads
-        queue_depth = min(max(float(outstanding), 1.0), self.max_queue_depth)
-        mbps = self._throughput_mbps(dispatch_us, block_reads)
-        if block_reads == 0:
-            # No device visit: record the depth actually observed (possibly
-            # 0, an idle device) rather than the >=1 clamp the latency model
-            # needs — the model is never consulted on this branch.
-            record = BatchServiceRecord(
-                dispatch_us=dispatch_us,
-                start_us=dispatch_us,
-                completion_us=dispatch_us,
-                block_reads=0,
-                queue_depth=min(float(self._inflight_blocks), self.max_queue_depth),
-                device_mbps=mbps,
-                read_latency_us=0.0,
-            )
-            self.records.append(record)
-            return record
-        read_latency = self.latency_model.loaded_latency(
-            mbps, queue_depth=queue_depth
-        ).mean_us
-        rounds = math.ceil(block_reads / queue_depth)
-        start_us = max(dispatch_us, self.free_at_us)
-        completion_us = start_us + rounds * read_latency
-        self.free_at_us = completion_us
-        self._issue_us.append(dispatch_us)
-        self._issue_blocks.append(block_reads)
-        self._completion_us.append(completion_us)
-        self._window_blocks += block_reads
-        self._inflight_blocks += block_reads
-        record = BatchServiceRecord(
-            dispatch_us=dispatch_us,
-            start_us=start_us,
-            completion_us=completion_us,
-            block_reads=block_reads,
-            queue_depth=queue_depth,
-            device_mbps=mbps,
-            read_latency_us=read_latency,
-        )
-        self.records.append(record)
-        return record
-
-    # ---------------------------------------------------------------- private
-    def _prune(self, now_us: float) -> None:
-        while (
-            self._window_start < len(self._issue_us)
-            and self._issue_us[self._window_start] <= now_us - self.window_us
-        ):
-            self._window_blocks -= self._issue_blocks[self._window_start]
-            self._window_start += 1
-        while (
-            self._inflight_start < len(self._completion_us)
-            and self._completion_us[self._inflight_start] <= now_us
-        ):
-            self._inflight_blocks -= self._issue_blocks[self._inflight_start]
-            self._inflight_start += 1
-
-    def _throughput_mbps(self, now_us: float, new_blocks: int) -> float:
-        """Device throughput over the trailing window, including this batch."""
-        blocks = self._window_blocks + new_blocks
-        return blocks * self.block_bytes / self.window_us  # bytes/µs == MB/s
+        return self.device.serve_blocks(dispatch_us, block_reads)

@@ -146,6 +146,15 @@ class ServingReport:
     device_mbps_peak: float = 0.0
     lookups: int = 0
     hit_rate: float = 0.0
+    #: Requests rejected by single-host admission control (fast rejections
+    #: at batch dispatch, no cache or device work; see
+    #: ``ServingConfig.admission_queue_slack``).  ``0`` when shedding is
+    #: disabled — the default, golden-pinned path.
+    requests_shed: int = 0
+    #: Observability snapshot of the shared device bank
+    #: (:meth:`repro.device.NVMDeviceBank.snapshot`); ``None`` on the
+    #: legacy accounting path and cluster-routed runs.
+    device_bank: Optional[Dict[str, object]] = None
     #: Closed-form Figure-5 cross-check: the loaded latency the device model
     #: predicts for this run's average application throughput and measured
     #: effective bandwidth (``None`` when the run never touched the device).
@@ -161,6 +170,13 @@ class ServingReport:
         if self.num_requests == 0:
             return 0.0
         return self.slo_violations / self.num_requests
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of requests shed by single-host admission control."""
+        if self.num_requests == 0:
+            return 0.0
+        return self.requests_shed / self.num_requests
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready rendering (used by the benchmark artifacts)."""
@@ -184,6 +200,9 @@ class ServingReport:
             "device_mbps_peak": self.device_mbps_peak,
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
+            "requests_shed": self.requests_shed,
+            "shed_rate": self.shed_rate,
+            "device_bank": self.device_bank,
             "steady_state": (
                 None
                 if self.steady_state is None

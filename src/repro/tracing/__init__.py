@@ -70,6 +70,7 @@ from repro.tracing.tracer import (
     STAGE_NODE_SERVICE,
     STAGE_OVERHEAD,
     STAGE_REQUEST,
+    STAGE_REQUEST_SHED,
     STAGE_SHARD_GROUP,
     NullTracer,
     RequestTrace,
@@ -104,6 +105,7 @@ __all__ = [
     "STAGE_NODE_SERVICE",
     "STAGE_OVERHEAD",
     "STAGE_REQUEST",
+    "STAGE_REQUEST_SHED",
     "STAGE_SHARD_GROUP",
     "NullTracer",
     "RequestTrace",

@@ -71,6 +71,9 @@ STAGE_HEDGE_WON = "hedge.won"
 STAGE_HEDGE_LOST = "hedge.lost"
 #: Router-side fan-in overhead at the end of a cluster request.
 STAGE_FANIN_OVERHEAD = "fanin.overhead"
+#: A whole request shed by *single-host* admission control at batch
+#: dispatch (fast rejection; no cache or device work was done).
+STAGE_REQUEST_SHED = "request.shed"
 
 #: Attribute marking a span allowed to end after its parent: speculative
 #: work (a lost hedge, or the primary attempt a winning hedge beat) whose

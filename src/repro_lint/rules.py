@@ -364,7 +364,13 @@ class TimeUnitMixRule(Rule):
 # --------------------------------------------------------------------------- R4
 #: Public config dataclasses whose every field must be validated.
 CONFIG_CLASSES = frozenset(
-    {"BandanaConfig", "ServingConfig", "ClusterConfig", "TracingConfig"}
+    {
+        "BandanaConfig",
+        "ServingConfig",
+        "ClusterConfig",
+        "TracingConfig",
+        "DeviceBankConfig",
+    }
 )
 
 #: Method names R4 accepts as "the validation hook".

@@ -1,0 +1,500 @@
+"""Tests for the shared NVM device layer (repro.device) and its clients.
+
+Covers the device-bank PR's checklist: DeviceClock FIFO/pricing behaviour
+and conservation invariants (busy time ≤ wall time × K, depth histograms
+sum to serve counts), the bank's table→device mapping, the serving
+front-end's accounting modes (legacy ≡ shared single-table, shared
+K=num_tables ≡ per-table, cross-table contention under a genuinely shared
+device), closed-loop arrival properties (hard concurrency cap, think-time
+stationarity, determinism), and single-host admission-control accounting.
+"""
+
+import os
+import sys
+
+if __package__ in (None, ""):  # direct script run
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+    )
+
+import numpy as np
+import pytest
+
+from repro import ServingConfig
+from repro.core.config import DeviceBankConfig, TracingConfig
+from repro.device import DeviceClock, NVMDeviceBank, depth_bucket
+from repro.nvm.latency import NVMLatencyModel
+from repro.serving import ClosedLoopPopulation, simulate_serving
+from repro.serving.arrivals import arrival_times
+from repro.tracing import (
+    ATTR_PARALLEL,
+    STAGE_DEVICE_SERVICE,
+    STAGE_REQUEST_SHED,
+    Tracer,
+    validate_trace,
+)
+from repro.utils.rng import ensure_rng
+from test_serving import build_store_and_trace
+
+
+# ------------------------------------------------------------------ DeviceClock
+class TestDeviceClock:
+    def make_clock(self, **kwargs):
+        return DeviceClock(NVMLatencyModel(), block_bytes=4096, **kwargs)
+
+    def test_fifo_backlog_serialises_batches(self):
+        clock = self.make_clock()
+        first = clock.serve_blocks(0.0, 64)
+        second = clock.serve_blocks(1.0, 64)
+        assert first.start_us == pytest.approx(0.0)
+        # The device is busy until `first` completes; `second` queues.
+        assert second.start_us == first.completion_us
+        assert second.queue_wait_us > 0.0
+        assert second.completion_us > first.completion_us
+
+    def test_idle_device_serves_immediately(self):
+        clock = self.make_clock()
+        record = clock.serve_blocks(0.0, 8)
+        late = clock.serve_blocks(record.completion_us + 100.0, 8)
+        assert late.start_us == late.dispatch_us
+        assert late.queue_wait_us == pytest.approx(0.0)
+
+    def test_zero_reads_do_not_occupy_the_device(self):
+        clock = self.make_clock()
+        record = clock.serve_blocks(0.0, 0)
+        assert record.completion_us == record.dispatch_us
+        assert clock.free_at_us == pytest.approx(0.0)
+        assert clock.busy_us == pytest.approx(0.0)
+        # The serve is still observed (depth histogram, serve count).
+        assert clock.serves == 1
+
+    def test_serve_blocks_requires_a_latency_model(self):
+        clock = DeviceClock(None, block_bytes=4096)
+        with pytest.raises(ValueError):
+            clock.serve_blocks(0.0, 4)
+
+    def test_serve_duration_fifo_and_validation(self):
+        clock = DeviceClock(None, block_bytes=4096)
+        first = clock.serve_duration(0.0, 50.0)
+        assert (first.start_us, first.completion_us) == (0.0, 50.0)
+        queued = clock.serve_duration(10.0, 5.0)
+        assert queued.start_us == pytest.approx(50.0)
+        assert queued.completion_us == pytest.approx(55.0)
+        # Out-of-order arrivals (retries/hedges) are allowed.
+        early = clock.serve_duration(5.0, 1.0)
+        assert early.start_us == pytest.approx(55.0)
+        with pytest.raises(ValueError):
+            clock.serve_duration(0.0, -1.0)
+
+    def test_rebase_clears_backlog_but_keeps_aggregates(self):
+        clock = self.make_clock()
+        clock.serve_blocks(0.0, 64)
+        clock.serve_blocks(0.0, 64)
+        serves, busy = clock.serves, clock.busy_us
+        assert clock.free_at_us > 0.0
+        clock.rebase(0.0)
+        assert clock.free_at_us == pytest.approx(0.0)
+        assert clock.serves == serves
+        assert clock.busy_us == busy
+        assert len(clock.records) == serves  # the log survives; backlog doesn't
+        fresh = clock.serve_blocks(0.0, 8)
+        assert fresh.queue_wait_us == pytest.approx(0.0)
+
+    def test_depth_bucket_edges(self):
+        assert depth_bucket(0.0) == 0
+        assert depth_bucket(1.0) == 1
+        assert depth_bucket(2.0) == 2
+        assert depth_bucket(3.0) == 4
+        assert depth_bucket(64.0) == 64
+
+
+# ---------------------------------------------------------------- NVMDeviceBank
+class TestNVMDeviceBank:
+    def test_round_robin_mapping_is_idempotent(self):
+        bank = NVMDeviceBank(num_devices=2, latency_model=NVMLatencyModel())
+        assert bank.map_table("a") == 0
+        assert bank.map_table("b") == 1
+        assert bank.map_table("c") == 0
+        assert bank.map_table("a") == 0  # unchanged on re-pin
+        assert bank.table_mapping() == {"a": 0, "b": 1, "c": 0}
+
+    def test_single_device_shares_all_tables(self):
+        bank = NVMDeviceBank(
+            num_devices=1, latency_model=NVMLatencyModel(), tables=("a", "b", "c")
+        )
+        assert set(bank.table_mapping().values()) == {0}
+        first = bank.serve_blocks("a", 0.0, 32)
+        second = bank.serve_blocks("b", 0.0, 32)
+        # Cross-table contention: table b queues behind table a's reads.
+        assert second.start_us == first.completion_us
+
+    def test_private_devices_do_not_contend(self):
+        bank = NVMDeviceBank(
+            num_devices=2, latency_model=NVMLatencyModel(), tables=("a", "b")
+        )
+        first = bank.serve_blocks("a", 0.0, 32)
+        second = bank.serve_blocks("b", 0.0, 32)
+        assert second.start_us == pytest.approx(0.0)
+        assert second.device_index != first.device_index
+        assert first.queue_wait_us == second.queue_wait_us == pytest.approx(0.0)
+
+    def test_busy_time_conservation(self):
+        rng = ensure_rng(5)
+        num_devices = 3
+        bank = NVMDeviceBank(num_devices=num_devices, latency_model=NVMLatencyModel())
+        tables = [f"t{i}" for i in range(7)]
+        dispatch_us = 0.0
+        for _ in range(200):
+            dispatch_us += float(rng.exponential(30.0))
+            bank.serve_blocks(str(rng.choice(tables)), dispatch_us, int(rng.integers(0, 48)))
+        wall_us = bank.free_at_us  # dispatches started at 0
+        assert wall_us > 0.0
+        for device in bank.devices:
+            # FIFO: one request at a time, so busy time can't exceed wall time.
+            assert device.busy_us <= wall_us + 1e-6
+        assert bank.total_busy_us() <= wall_us * num_devices + 1e-6
+
+    def test_depth_histograms_sum_to_serve_counts(self):
+        rng = ensure_rng(6)
+        bank = NVMDeviceBank(num_devices=2, latency_model=NVMLatencyModel())
+        dispatch_us = 0.0
+        for i in range(120):
+            dispatch_us += float(rng.exponential(20.0))
+            bank.serve_blocks(f"t{i % 5}", dispatch_us, int(rng.integers(0, 32)))
+        for device, hist in zip(bank.devices, bank.depth_histograms()):
+            assert sum(hist.values()) == device.serves
+            assert device.serves == len(device.records)
+        assert sum(d.serves for d in bank.devices) == 120
+
+    def test_queue_wait_per_table_and_bankwide(self):
+        bank = NVMDeviceBank(
+            num_devices=2, latency_model=NVMLatencyModel(), tables=("a", "b")
+        )
+        record = bank.serve_blocks("a", 0.0, 64)
+        assert bank.queue_wait_us(0.0, "a") == record.completion_us
+        assert bank.queue_wait_us(0.0, "b") == pytest.approx(0.0)
+        assert bank.queue_wait_us(0.0) == record.completion_us  # max over bank
+
+    def test_snapshot_shape(self):
+        bank = NVMDeviceBank(
+            num_devices=2, latency_model=NVMLatencyModel(), tables=("a", "b")
+        )
+        bank.serve_blocks("a", 0.0, 16)
+        snap = bank.snapshot()
+        assert snap["num_devices"] == 2
+        assert snap["table_mapping"] == {"a": 0, "b": 1}
+        per_device = snap["per_device"]
+        assert len(per_device) == 2
+        assert per_device[0]["serves"] == 1
+        assert per_device[0]["blocks_issued"] == 16
+        assert all(isinstance(k, str) for k in per_device[0]["depth_hist"])
+
+    def test_rebase_and_keep_records_false(self):
+        bank = NVMDeviceBank(num_devices=2, keep_records=False)
+        bank.serve_duration("a", 0.0, 100.0)
+        assert bank.records() == []
+        assert bank.free_at_us == pytest.approx(100.0)
+        bank.rebase(7.0)
+        assert all(device.free_at_us == pytest.approx(7.0) for device in bank.devices)
+
+
+# ----------------------------------------------------------- accounting modes
+@pytest.fixture(scope="module")
+def store_and_trace():
+    return build_store_and_trace()
+
+
+def serve(store_and_trace, config, **kwargs):
+    store, eval_trace = store_and_trace
+    return simulate_serving(store, eval_trace, config=config, **kwargs)
+
+
+class TestAccountingModes:
+    def test_default_config_is_legacy_with_no_bank(self, store_and_trace):
+        report = serve(store_and_trace, ServingConfig(seed=3))
+        assert report.requests_shed == 0
+        assert report.device_bank is None
+
+    def test_per_table_mode_gives_every_table_a_device(self, store_and_trace):
+        report = serve(
+            store_and_trace,
+            ServingConfig(seed=3, device=DeviceBankConfig(accounting="per-table")),
+        )
+        bank = report.device_bank
+        assert bank is not None
+        assert bank["num_devices"] == 2
+        assert sorted(bank["table_mapping"].values()) == [0, 1]
+
+    def test_shared_with_enough_devices_equals_per_table(self, store_and_trace):
+        per_table = serve(
+            store_and_trace,
+            ServingConfig(seed=3, device=DeviceBankConfig(accounting="per-table")),
+        )
+        shared = serve(
+            store_and_trace,
+            ServingConfig(
+                seed=3,
+                device=DeviceBankConfig(accounting="shared", devices_per_host=2),
+            ),
+        )
+        assert shared.latency == per_table.latency
+        assert shared.blocks_read == per_table.blocks_read
+        assert shared.device_bank["table_mapping"] == per_table.device_bank["table_mapping"]
+
+    def test_shared_single_table_equals_legacy(self):
+        store, eval_trace = build_store_and_trace(names=("table1",))
+        legacy = simulate_serving(store, eval_trace, config=ServingConfig(seed=3))
+        shared = simulate_serving(
+            store,
+            eval_trace,
+            config=ServingConfig(
+                seed=3, device=DeviceBankConfig(accounting="shared", devices_per_host=1)
+            ),
+        )
+        # One table: splitting per table is the whole batch, so the bank's
+        # single device replays the legacy accountant's exact arithmetic.
+        assert shared.latency == legacy.latency
+        assert shared.blocks_read == legacy.blocks_read
+        assert shared.queue_depth_hist == legacy.queue_depth_hist
+
+    def test_shared_device_creates_cross_table_contention(self, store_and_trace):
+        rate = ServingConfig(seed=3, arrival_rate_rps=8000.0)
+        per_table = serve(
+            store_and_trace,
+            ServingConfig(
+                seed=3,
+                arrival_rate_rps=rate.arrival_rate_rps,
+                device=DeviceBankConfig(accounting="per-table"),
+            ),
+        )
+        shared = serve(
+            store_and_trace,
+            ServingConfig(
+                seed=3,
+                arrival_rate_rps=rate.arrival_rate_rps,
+                device=DeviceBankConfig(accounting="shared", devices_per_host=1),
+            ),
+        )
+        # Both tables' reads serialise on the one physical device: the tail
+        # pays for the other table's queue, which per-table accounting
+        # cannot produce (each table had a private device there).
+        assert shared.latency.p999_us > per_table.latency.p999_us
+        assert shared.latency.mean_us > per_table.latency.mean_us
+        assert shared.blocks_read == per_table.blocks_read  # same cache work
+
+    def test_bank_modes_trace_validates_with_parallel_device_spans(
+        self, store_and_trace
+    ):
+        tracer = Tracer(TracingConfig(enabled=True, sample_every=1))
+        report = serve(
+            store_and_trace,
+            ServingConfig(
+                seed=3,
+                arrival_rate_rps=8000.0,
+                device=DeviceBankConfig(accounting="per-table"),
+            ),
+            tracing=tracer,
+        )
+        assert report.num_requests == len(tracer.traces)
+        saw_parallel_pair = False
+        for trace in tracer.traces.values():
+            assert validate_trace(trace) == []
+            service = [s for s in trace.spans if s.name == STAGE_DEVICE_SERVICE]
+            if len(service) > 1:
+                assert {s.attributes["device"] for s in service} == {0, 1}
+                assert all(s.attributes[ATTR_PARALLEL] for s in service)
+                saw_parallel_pair = True
+        assert saw_parallel_pair
+
+
+# ------------------------------------------------------------------ closed loop
+class TestClosedLoopArrivals:
+    def test_arrival_times_refuses_closed_loop(self):
+        config = ServingConfig(arrival_process="closed-loop")
+        with pytest.raises(ValueError):
+            arrival_times(config, 10, seed=1)
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            ClosedLoopPopulation(0, 0.01, ensure_rng(1))
+        with pytest.raises(ValueError):
+            ClosedLoopPopulation(4, 0.0, ensure_rng(1))
+
+    def test_nominal_rate(self):
+        population = ClosedLoopPopulation(32, 0.016, ensure_rng(1))
+        assert population.nominal_rate_rps == pytest.approx(2000.0)
+
+    def test_think_time_stationarity(self):
+        # The think-time distribution does not drift with simulated time:
+        # draws conditioned on late completions have the same mean as the
+        # initial draws (both are the same exponential).
+        population = ClosedLoopPopulation(4, 0.01, ensure_rng(42))
+        initial = np.array([population.initial_arrival_us() for _ in range(20000)])
+        late = np.array(
+            [population.next_arrival_us(1e9) - 1e9 for _ in range(20000)]
+        )
+        assert initial.mean() == pytest.approx(population.think_mean_us, rel=0.05)
+        assert late.mean() == pytest.approx(population.think_mean_us, rel=0.05)
+        assert np.all(late > 0.0)
+
+    def test_closed_loop_run_is_deterministic(self, store_and_trace):
+        config = ServingConfig(
+            arrival_process="closed-loop",
+            seed=3,
+            closed_loop_clients=8,
+            closed_loop_think_s=0.004,
+        )
+        first = serve(store_and_trace, config)
+        second = serve(store_and_trace, config)
+        assert first.latency == second.latency
+        assert first.num_batches == second.num_batches
+        assert first.blocks_read == second.blocks_read
+
+    def test_concurrency_never_exceeds_population(self, store_and_trace):
+        clients = 6
+        tracer = Tracer(TracingConfig(enabled=True, sample_every=1))
+        report = serve(
+            store_and_trace,
+            ServingConfig(
+                arrival_process="closed-loop",
+                seed=3,
+                closed_loop_clients=clients,
+                closed_loop_think_s=0.0002,  # think ≪ service: saturate
+            ),
+            tracing=tracer,
+        )
+        assert report.num_requests == len(tracer.traces)
+        # Sweep the in-flight intervals: at no simulated instant are more
+        # than `clients` requests between arrival and response.
+        events = []
+        for trace in tracer.traces.values():
+            events.append((trace.arrival_us, 1))
+            events.append((trace.completion_us, -1))
+        events.sort()
+        in_flight = peak = 0
+        for _, delta in events:
+            in_flight += delta
+            peak = max(peak, in_flight)
+        assert 0 < peak <= clients
+
+    def test_closed_loop_throughput_bounded_by_nominal_rate(self, store_and_trace):
+        report = serve(
+            store_and_trace,
+            ServingConfig(
+                arrival_process="closed-loop",
+                seed=3,
+                closed_loop_clients=8,
+                closed_loop_think_s=0.004,
+            ),
+        )
+        # A closed loop cannot serve faster than its clients offer.
+        assert report.throughput_rps <= report.offered_rate_rps
+        assert report.offered_rate_rps == pytest.approx(8 / 0.004)
+
+    def test_closed_loop_traces_validate(self, store_and_trace):
+        tracer = Tracer(TracingConfig(enabled=True, sample_every=1))
+        serve(
+            store_and_trace,
+            ServingConfig(
+                arrival_process="closed-loop",
+                seed=3,
+                closed_loop_clients=8,
+                closed_loop_think_s=0.001,
+                device=DeviceBankConfig(accounting="shared"),
+            ),
+            tracing=tracer,
+        )
+        for trace in tracer.traces.values():
+            assert validate_trace(trace) == []
+
+    def test_closed_loop_rejects_cluster_routing(self, store_and_trace):
+        store, eval_trace = store_and_trace
+        with pytest.raises(ValueError):
+            simulate_serving(
+                store,
+                eval_trace,
+                config=ServingConfig(arrival_process="closed-loop"),
+                cluster=object(),  # type: ignore[arg-type]  # never reached
+            )
+
+
+# ------------------------------------------------------------ admission control
+class TestAdmissionControl:
+    OVERLOAD = dict(seed=3, arrival_rate_rps=400000.0, admission_queue_slack=0.1)
+
+    def test_shedding_disabled_by_default(self, store_and_trace):
+        report = serve(store_and_trace, ServingConfig(seed=3, arrival_rate_rps=400000.0))
+        assert report.requests_shed == 0
+        assert report.shed_rate == pytest.approx(0.0)
+
+    def test_overload_sheds_and_counts(self, store_and_trace):
+        report = serve(store_and_trace, ServingConfig(**self.OVERLOAD))
+        assert 0 < report.requests_shed < report.num_requests
+        assert report.shed_rate == pytest.approx(
+            report.requests_shed / report.num_requests
+        )
+
+    def test_shed_requests_do_no_cache_work(self, store_and_trace):
+        full = serve(store_and_trace, ServingConfig(seed=3, arrival_rate_rps=400000.0))
+        shed = serve(store_and_trace, ServingConfig(**self.OVERLOAD))
+        assert shed.lookups < full.lookups
+        assert shed.blocks_read < full.blocks_read
+
+    def test_shedding_improves_served_tail(self, store_and_trace):
+        full = serve(store_and_trace, ServingConfig(seed=3, arrival_rate_rps=400000.0))
+        shed = serve(store_and_trace, ServingConfig(**self.OVERLOAD))
+        # Shed rejections return fast and the surviving queue is shorter.
+        assert shed.latency.p999_us < full.latency.p999_us
+
+    def test_shed_traces_are_degraded_with_marker_span(self, store_and_trace):
+        tracer = Tracer(TracingConfig(enabled=True, sample_every=1))
+        report = serve(store_and_trace, ServingConfig(**self.OVERLOAD), tracing=tracer)
+        shed_traces = [t for t in tracer.traces.values() if t.degraded]
+        assert len(shed_traces) == report.requests_shed
+        for trace in shed_traces:
+            assert validate_trace(trace) == []
+            assert any(s.name == STAGE_REQUEST_SHED for s in trace.spans)
+
+    def test_bank_mode_sheds_per_table(self, store_and_trace):
+        report = serve(
+            store_and_trace,
+            ServingConfig(
+                device=DeviceBankConfig(accounting="shared"), **self.OVERLOAD
+            ),
+        )
+        assert report.requests_shed > 0
+        assert report.device_bank is not None
+
+    def test_per_table_slo_overrides(self):
+        config = ServingConfig(table_slo_us=(("table1", 500.0),))
+        assert config.slo_us("table1") == pytest.approx(500.0)
+        assert config.slo_us("table7") == config.slo_latency_us
+
+
+# ---------------------------------------------------------------------- config
+class TestDeviceBankConfig:
+    def test_defaults(self):
+        config = DeviceBankConfig()
+        assert config.accounting == "legacy"
+        assert config.devices_per_host == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceBankConfig(accounting="florp")
+        with pytest.raises(ValueError):
+            DeviceBankConfig(devices_per_host=0)
+        with pytest.raises(ValueError):
+            ServingConfig(closed_loop_clients=0)
+        with pytest.raises(ValueError):
+            ServingConfig(closed_loop_think_s=0.0)
+        with pytest.raises(ValueError):
+            ServingConfig(admission_queue_slack=-1.0)
+        with pytest.raises(ValueError):
+            ServingConfig(table_slo_us=(("t", 0.0),))
+        with pytest.raises(TypeError):
+            ServingConfig(device="shared")  # type: ignore[arg-type]
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))
