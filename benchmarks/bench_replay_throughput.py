@@ -55,6 +55,10 @@ ROUNDS = 3
 
 JSON_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_replay_throughput.json")
 
+#: Steady-state multiplier of the CI-sized ``smoke_wall_clock`` section
+#: (the loose perf-track leg re-times this configuration on every runner).
+SMOKE_EVAL_MULTIPLIER = 1
+
 
 def _counters(stats):
     return stats.counters()
@@ -131,8 +135,41 @@ def run_throughput(workload):
         # Headline: the unlimited-cache placement replay, the single most
         # common replay in the repository's experiment suite.
         "speedup": configs["placement-study"]["speedup"],
+        "smoke_wall_clock": measure_smoke_wall_clock(workload),
     }
     return result
+
+
+def measure_smoke_wall_clock(workload=None):
+    """CI-sized wall-clock reference: the batched engine on the headline
+    (placement-study) configuration over a short evaluation stream.
+
+    ``benchmarks/perf_track.py`` re-times this on every runner and compares
+    ``batched_lookups_per_sec`` against the committed number with a loose
+    ratio floor — tolerant of runner noise, loud on order-of-magnitude
+    engine regressions.  The reference loop is deliberately excluded: it is
+    ~10x slower and its parity with the batched engine is already enforced
+    counter-for-counter by :func:`_time_config`.
+    """
+    if workload is None:
+        spec = scaled_table_specs(1.0 / 1000.0, names=[TABLE])[TABLE]
+        workload = build_table_workload(spec, seed=101)
+    eval_trace = workload.generator.generate_lookups(
+        SMOKE_EVAL_MULTIPLIER * workload.evaluation.num_lookups
+    )
+    times = []
+    stats = None
+    for _ in range(ROUNDS):
+        engine = BatchReplayEngine(workload.shp_layout, CacheAllBlockPolicy())
+        start = time.perf_counter()
+        stats = engine.replay(eval_trace.queries)
+        times.append(time.perf_counter() - start)
+    lookups = int(stats.lookups)
+    return {
+        "eval_lookups": lookups,
+        "hit_rate": round(stats.hit_rate, 4),
+        "batched_lookups_per_sec": round(lookups / min(times)),
+    }
 
 
 def _format_table(result):

@@ -2,17 +2,41 @@
 
 Regenerates the paper's per-table statistics (vectors, average lookups per
 request, share of total lookups, compulsory misses) from a share-split
-synthetic model trace and prints them next to the paper's values.
+synthetic model trace and renders them next to the paper's values — and,
+since PR 10, does the same for *external* traces pulled through the
+streaming loader (:mod:`repro.scenarios.loader`): the committed sample
+fixtures under ``tests/data/`` are characterised by the identical code path
+(:mod:`repro.workloads.characterization`) and reported side by side with
+the paper's eight production rows.
+
+Run directly (``python benchmarks/bench_table1_characterization.py``) to
+write the machine-readable artifact ``BENCH_table1_characterization.json``
+at the repository root; the printed tables persist under
+``benchmarks/results/`` as before.
 """
 
 import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo root)
 
+import json
+import os
+
 from benchmarks.common import BENCH_SCALE, save_result
+from repro.scenarios import TraceLoaderConfig, characterization_report, load_trace
 from repro.simulation.report import format_table
 from repro.workloads import generate_model_trace, scaled_table_specs
 from repro.workloads.characterization import characterize_model
 
 TOTAL_LOOKUPS = 250_000
+
+JSON_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_table1_characterization.json"
+)
+
+#: Committed sample traces characterised through the streaming loader.
+FIXTURES = {
+    "twitter": ("tests/data/sample_twitter_trace.csv", "twitter"),
+    "columnar": ("tests/data/sample_columnar_trace.csv", "columnar"),
+}
 
 
 def run_table1():
@@ -46,6 +70,88 @@ def run_table1():
     return table, characterizations, specs
 
 
+def synthetic_rows(characterizations, specs):
+    """Machine-readable measured-vs-paper rows for the synthetic tables."""
+    rows = []
+    for name, spec in specs.items():
+        row = characterizations[name]
+        rows.append(
+            {
+                "name": name,
+                "num_vectors_scaled": int(spec.num_vectors),
+                "measured": {
+                    "avg_lookups_per_query": round(row.avg_lookups_per_query, 4),
+                    "lookup_share": round(row.lookup_share, 6),
+                    "compulsory_miss_rate": round(row.compulsory_miss_rate, 6),
+                },
+                "paper": {
+                    "avg_lookups_per_query": float(spec.avg_lookups_per_query),
+                    "lookup_share": float(spec.lookup_share),
+                    "compulsory_miss_rate": float(spec.compulsory_miss_rate),
+                },
+            }
+        )
+    return rows
+
+
+def loaded_reports():
+    """The sample fixtures, loader-normalised and set against Table 1."""
+    reports = {}
+    for name, (path, fmt) in FIXTURES.items():
+        loaded = load_trace(TraceLoaderConfig(path=path, format=fmt))
+        reports[name] = characterization_report(loaded, name=f"sample-{name}")
+    return reports
+
+
+def _format_loaded(reports):
+    headers = [
+        "trace",
+        "queries",
+        "ids",
+        "avg lookups/query",
+        "compulsory misses",
+    ]
+    rows = []
+    for name, report in reports.items():
+        measured = report["measured"]
+        rows.append(
+            [
+                name,
+                measured["num_queries"],
+                measured["num_vectors"],
+                f"{measured['avg_lookups_per_query']:.2f}",
+                f"{100 * measured['compulsory_miss_rate']:.2f}%",
+            ]
+        )
+    for spec in next(iter(reports.values()))["paper_table1"]:
+        rows.append(
+            [
+                f"paper {spec['name']}",
+                "-",
+                spec["num_vectors"],
+                f"{spec['avg_lookups_per_query']:.2f}",
+                f"{100 * spec['compulsory_miss_rate']:.2f}%",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def run_artifact():
+    """The full machine-readable artifact plus its printable rendering."""
+    table, characterizations, specs = run_table1()
+    reports = loaded_reports()
+    artifact = {
+        "total_lookups": TOTAL_LOOKUPS,
+        "bench_scale": float(BENCH_SCALE),
+        "synthetic": synthetic_rows(characterizations, specs),
+        "loaded": reports,
+    }
+    rendered = "\n".join(
+        [table, "", "loaded external traces vs paper Table 1:", _format_loaded(reports)]
+    )
+    return artifact, rendered
+
+
 def test_table1_characterization(benchmark):
     table, characterizations, specs = benchmark.pedantic(run_table1, rounds=1, iterations=1)
     save_result("table1_characterization", table)
@@ -59,3 +165,11 @@ def test_table1_characterization(benchmark):
     assert "table2" in top_two
     assert max(misses, key=misses.get) == "table8"
     assert misses["table2"] < misses["table6"]
+
+
+if __name__ == "__main__":
+    artifact, rendered = run_artifact()
+    save_result("table1_characterization", rendered)
+    with open(JSON_PATH, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")

@@ -1,29 +1,41 @@
-"""Perf tracking: compare fresh benchmark numbers against the committed JSON.
+"""Perf tracking: compare fresh benchmark numbers against the committed JSONs.
 
 Run from the repository root (the CI perf-track job does)::
 
     python benchmarks/perf_track.py
 
-Two legs, with deliberately different tolerances:
+Every tracked artifact gets one or both of two leg kinds, with deliberately
+different tolerances:
 
-1. **Simulated metrics (tight).**  ``BENCH_shared_device.json`` carries a
-   ``smoke_reference`` section produced at the CI-sized configuration
-   (:data:`bench_shared_device.SMOKE_PARAMS`).  The serving simulation is a
-   deterministic function of (store, trace, config, seed) — no wall clock
-   anywhere — so this leg regenerates the section and compares **every**
-   recorded number with a 1% relative tolerance (platform float drift only;
-   any real behaviour change lands far outside it).  A mismatch means a
-   change altered simulated behaviour without regenerating the benchmark
-   artifact: either a regression, or an intended change whose author must
-   rerun ``python benchmarks/bench_shared_device.py`` and commit the JSON.
-2. **Wall-clock throughput (loose).**  The committed artifact records the
-   replay throughput (``wall_clock.lookups_per_sec``) measured at
-   commit time.  CI runners are noisy and slower than dev machines, so this
-   leg only fails when fresh throughput drops below
-   ``WALL_CLOCK_FLOOR`` (default 0.2×) of the committed number — tolerant
+1. **Simulated metrics (tight).**  The artifact carries a ``smoke_reference``
+   section produced at the owning benchmark's CI-sized ``SMOKE_PARAMS``
+   configuration.  Each suite is a deterministic function of
+   (store, trace, config, seed) — no wall clock anywhere — so this leg
+   regenerates the section and compares **every** recorded number with a 1%
+   relative tolerance (platform float drift only; any real behaviour change
+   lands far outside it).  A mismatch means a change altered simulated
+   behaviour without regenerating the benchmark artifact: either a
+   regression, or an intended change whose author must rerun the owning
+   benchmark and commit the JSON.
+2. **Wall-clock throughput (loose).**  The committed artifact records a
+   throughput measured at commit time.  CI runners are noisy and slower than
+   dev machines, so this leg only fails when fresh throughput drops below
+   ``WALL_CLOCK_FLOOR`` (default 0.2x) of the committed number — tolerant
    of runner noise, loud on order-of-magnitude algorithmic regressions.
-   Skipped (with a notice) when the artifact has no ``wall_clock`` section
+   Skipped (with a notice) when the artifact has no wall-clock section
    (i.e. only ``--smoke`` runs were committed).
+
+Tracked artifacts:
+
+* ``BENCH_shared_device.json`` — tight smoke reference + loose replay
+  wall clock (:mod:`bench_shared_device`).
+* ``BENCH_scenarios.json`` — tight smoke reference + loose scenario-replay
+  wall clock (:mod:`bench_scenarios`).
+* ``BENCH_serving_latency.json`` — tight smoke reference: the full load
+  sweep at the CI-sized configuration (:mod:`bench_serving_latency`).
+* ``BENCH_replay_throughput.json`` — loose only: the whole artifact is
+  wall-clock timings, gated through its CI-sized ``smoke_wall_clock``
+  section (:mod:`bench_replay_throughput`).
 
 Exit status is non-zero on any regression, and every offending metric is
 printed with its committed and fresh values.
@@ -34,25 +46,29 @@ import _bootstrap  # noqa: F401  (sys.path setup: run benchmarks from the repo r
 import json
 import math
 import sys
-from typing import Any, List
+from typing import Any, Callable, Dict, List, Optional
 
-from bench_shared_device import (
-    JSON_PATH,
-    SMOKE_PARAMS,
-    measure_wall_clock,
-    run_suite,
-)
+import bench_replay_throughput
+import bench_scenarios
+import bench_serving_latency
+import bench_shared_device
 
 #: Relative tolerance of the simulated leg (deterministic numbers).
 SIM_RTOL = 0.01
 #: Fresh wall-clock throughput must stay above this fraction of committed.
 WALL_CLOCK_FLOOR = 0.2
+#: Keys that hold measured wall-clock durations — the only non-simulated
+#: numbers inside a ``smoke_reference`` section (e.g. the lifecycle's SHP
+#: retrain cost).  The tight leg skips them; runner speed is not behaviour.
+WALL_CLOCK_KEYS = frozenset({"retrain_runtime_seconds"})
 
 
 def compare_trees(committed: Any, fresh: Any, path: str, problems: List[str]) -> None:
     """Recursively compare two JSON trees, recording every numeric drift."""
     if isinstance(committed, dict) and isinstance(fresh, dict):
         for key in sorted(set(committed) | set(fresh)):
+            if key in WALL_CLOCK_KEYS:
+                continue
             if key not in committed or key not in fresh:
                 problems.append(f"{path}.{key}: present on only one side")
                 continue
@@ -75,64 +91,151 @@ def compare_trees(committed: Any, fresh: Any, path: str, problems: List[str]) ->
         problems.append(f"{path}: {committed!r} (committed) vs {fresh!r} (fresh)")
 
 
-def check_simulated(committed: dict) -> List[str]:
-    """Leg 1: the deterministic smoke-reference numbers must reproduce."""
+def check_simulated(
+    artifact: str,
+    committed: Dict[str, Any],
+    regenerate: Callable[[], Dict[str, Any]],
+    rerun_hint: str,
+) -> List[str]:
+    """Tight leg: the deterministic smoke-reference numbers must reproduce."""
     reference = committed.get("smoke_reference")
     if reference is None:
-        return [
-            "BENCH_shared_device.json has no smoke_reference section; "
-            "rerun python benchmarks/bench_shared_device.py"
-        ]
-    fresh = run_suite(**SMOKE_PARAMS)
+        return [f"{artifact} has no smoke_reference section; rerun {rerun_hint}"]
+    fresh = regenerate()
     problems: List[str] = []
-    compare_trees(reference, fresh, "smoke_reference", problems)
+    compare_trees(reference, fresh, f"{artifact}:smoke_reference", problems)
     return problems
 
 
-def check_wall_clock(committed: dict) -> List[str]:
-    """Leg 2: replay throughput must stay within a loose ratio floor."""
-    reference = committed.get("wall_clock")
-    if reference is None:
+def check_wall_clock(
+    artifact: str,
+    committed: Optional[Dict[str, Any]],
+    measure: Callable[[], Dict[str, Any]],
+    rate_key: str,
+) -> List[str]:
+    """Loose leg: a wall-clock throughput must stay within a ratio floor."""
+    if committed is None:
         print(
-            "perf-track: no wall_clock section in the committed artifact "
-            "(smoke-only run committed); skipping the wall-clock leg"
+            f"perf-track: {artifact} has no wall-clock section "
+            "(smoke-only run committed); skipping its wall-clock leg"
         )
         return []
-    fresh = measure_wall_clock(eval_multiplier=reference["eval_multiplier"])
-    committed_rate = reference["lookups_per_sec"]
-    fresh_rate = fresh["lookups_per_sec"]
+    fresh = measure()
+    committed_rate = float(committed[rate_key])
+    fresh_rate = float(fresh[rate_key])
     ratio = fresh_rate / committed_rate
     print(
-        f"perf-track: replay throughput {fresh_rate:,.0f} lookups/s fresh vs "
+        f"perf-track: {artifact} {rate_key} {fresh_rate:,.0f} fresh vs "
         f"{committed_rate:,.0f} committed ({ratio:.2f}x, floor "
         f"{WALL_CLOCK_FLOOR:.2f}x)"
     )
     if ratio < WALL_CLOCK_FLOOR:
         return [
-            f"wall_clock.lookups_per_sec: {fresh_rate:,.0f} fresh is below "
+            f"{artifact}:{rate_key}: {fresh_rate:,.0f} fresh is below "
             f"{WALL_CLOCK_FLOOR:.2f}x of the committed {committed_rate:,.0f} — "
-            "an order-of-magnitude replay regression, not runner noise"
+            "an order-of-magnitude regression, not runner noise"
         ]
     return []
 
 
-def main() -> int:
+def _load(json_path: str, name: str, problems: List[str]) -> Optional[Dict[str, Any]]:
     try:
-        with open(JSON_PATH) as handle:
-            committed = json.load(handle)
+        with open(json_path) as handle:
+            data = json.load(handle)
+            assert isinstance(data, dict)
+            return data
     except FileNotFoundError:
-        print("perf-track: BENCH_shared_device.json is missing; run "
-              "python benchmarks/bench_shared_device.py and commit the artifact")
-        return 1
-    problems = check_simulated(committed)
-    problems += check_wall_clock(committed)
+        problems.append(
+            f"{name} is missing; run its benchmark and commit the artifact"
+        )
+        return None
+
+
+def check_shared_device(problems: List[str]) -> None:
+    committed = _load(
+        bench_shared_device.JSON_PATH, "BENCH_shared_device.json", problems
+    )
+    if committed is None:
+        return
+    problems += check_simulated(
+        "BENCH_shared_device.json",
+        committed,
+        lambda: bench_shared_device.run_suite(**bench_shared_device.SMOKE_PARAMS),
+        "python benchmarks/bench_shared_device.py",
+    )
+    wall = committed.get("wall_clock")
+    problems += check_wall_clock(
+        "BENCH_shared_device.json",
+        wall,
+        lambda: bench_shared_device.measure_wall_clock(
+            eval_multiplier=wall["eval_multiplier"]
+        ),
+        "lookups_per_sec",
+    )
+
+
+def check_scenarios(problems: List[str]) -> None:
+    committed = _load(bench_scenarios.JSON_PATH, "BENCH_scenarios.json", problems)
+    if committed is None:
+        return
+    problems += check_simulated(
+        "BENCH_scenarios.json",
+        committed,
+        lambda: bench_scenarios.run_suite(**bench_scenarios.SMOKE_PARAMS),
+        "python benchmarks/bench_scenarios.py",
+    )
+    wall = committed.get("wall_clock")
+    problems += check_wall_clock(
+        "BENCH_scenarios.json",
+        wall,
+        lambda: bench_scenarios.measure_wall_clock(
+            num_queries=wall["num_queries"]
+        ),
+        "queries_per_sec",
+    )
+
+
+def check_serving_latency(problems: List[str]) -> None:
+    committed = _load(
+        bench_serving_latency.JSON_PATH, "BENCH_serving_latency.json", problems
+    )
+    if committed is None:
+        return
+    problems += check_simulated(
+        "BENCH_serving_latency.json",
+        committed,
+        lambda: bench_serving_latency.run_sweep(**bench_serving_latency.SMOKE_PARAMS),
+        "python benchmarks/bench_serving_latency.py",
+    )
+
+
+def check_replay_throughput(problems: List[str]) -> None:
+    committed = _load(
+        bench_replay_throughput.JSON_PATH, "BENCH_replay_throughput.json", problems
+    )
+    if committed is None:
+        return
+    problems += check_wall_clock(
+        "BENCH_replay_throughput.json",
+        committed.get("smoke_wall_clock"),
+        bench_replay_throughput.measure_smoke_wall_clock,
+        "batched_lookups_per_sec",
+    )
+
+
+def main() -> int:
+    problems: List[str] = []
+    check_shared_device(problems)
+    check_scenarios(problems)
+    check_serving_latency(problems)
+    check_replay_throughput(problems)
     if problems:
         print(f"perf-track: {len(problems)} regression(s) against committed artifacts:")
         for problem in problems:
             print(f"  {problem}")
         print(
-            "If this change is intentional, rerun "
-            "python benchmarks/bench_shared_device.py and commit the new JSON."
+            "If this change is intentional, rerun the owning benchmark(s) "
+            "and commit the regenerated JSON artifact(s)."
         )
         return 1
     print("perf-track: all tracked numbers match the committed artifacts")

@@ -738,6 +738,31 @@ class BatchReplayEngine:
         self._pending[:] = False
         self._num_pending = 0
 
+    def swap_layout(self, layout: BlockLayout) -> None:
+        """Adopt a new block placement without disturbing cache residency.
+
+        Models an online re-partition: the NVM blocks are rewritten in the
+        new order, but DRAM cache entries are keyed by vector id and stay
+        valid, so residency, LRU order, pending-prefetch attribution and the
+        cumulative stats all carry over.  Only the placement-derived state
+        (id→block mapping, physical order, per-block admission cache) is
+        rebuilt.  The new layout must cover the same vector universe with
+        the same block geometry.
+        """
+        if (layout.num_vectors, layout.vectors_per_block) != (
+            self._num_vectors,
+            self._vectors_per_block,
+        ):
+            raise ValueError(
+                "swap_layout requires identical geometry: "
+                f"({layout.num_vectors} vectors, {layout.vectors_per_block}/block) "
+                f"vs ({self._num_vectors}, {self._vectors_per_block})"
+            )
+        self.layout = layout
+        self._block_arr = layout.block_of(np.arange(layout.num_vectors, dtype=np.int64))
+        self._order = layout.order
+        self._block_admit = {}
+
 
 def replay_table_cache_batched(
     queries: Iterable[np.ndarray],

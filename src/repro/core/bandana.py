@@ -25,7 +25,7 @@ actual embedding values when built with an :class:`~repro.embeddings.EmbeddingMo
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
@@ -351,10 +351,18 @@ class BandanaStore:
         return {name: state.cache_stats for name, state in self.tables.items()}
 
     def aggregate_stats(self) -> ReplayStats:
-        """Sum of the per-table replay statistics."""
+        """Sum of the per-table replay statistics.
+
+        Always a fresh object — never an alias of a table's live stats — so
+        callers can snapshot it and diff against a later call (the serving
+        simulator's before/after accounting relies on this; an alias would
+        silently zero every delta on single-table stores).
+        """
         stats = None
         for state in self.tables.values():
-            stats = state.stats if stats is None else stats.merge(state.stats)
+            stats = (
+                replace(state.stats) if stats is None else stats.merge(state.stats)
+            )
         return stats if stats is not None else ReplayStats()
 
     def effective_bandwidth(self) -> EffectiveBandwidth:
@@ -378,6 +386,41 @@ class BandanaStore:
             state.layout.num_blocks * self.config.block_bytes
             for state in self.tables.values()
         )
+
+    def swap_layout(
+        self, table_name: str, layout: BlockLayout, retain_cache: bool = True
+    ) -> None:
+        """Adopt a new block placement for one table, live.
+
+        Models an online re-partition (the re-partitioning lifecycle of
+        :mod:`repro.scenarios.lifecycle`).  With ``retain_cache`` (the
+        default) DRAM residency survives the swap — cache entries are keyed
+        by vector id, which a re-layout of the NVM blocks does not
+        invalidate — so only the placement-derived prefetch behaviour
+        changes.  With ``retain_cache=False`` the table restarts cold, for
+        modelling systems that flush DRAM on re-layout.  Cumulative stats
+        carry over either way; the layout must keep the table's geometry.
+        """
+        state = self._state(table_name)
+        if (layout.num_vectors, layout.vectors_per_block) != (
+            state.layout.num_vectors,
+            state.layout.vectors_per_block,
+        ):
+            raise ValueError(
+                "swap_layout requires identical geometry: "
+                f"({layout.num_vectors} vectors, {layout.vectors_per_block}/block) vs "
+                f"({state.layout.num_vectors}, {state.layout.vectors_per_block})"
+            )
+        state.layout = layout
+        if state.engine is not None:
+            if retain_cache:
+                state.engine.swap_layout(layout)
+            else:
+                state.engine.reset()
+                state.engine.swap_layout(layout)
+        if not retain_cache:
+            state.cache.clear()
+        self._request_replayer = None  # rebound to the swapped engines on demand
 
     def reset_serving_state(self) -> None:
         """Clear caches and counters (placement and thresholds are kept)."""

@@ -1,0 +1,264 @@
+"""Configuration dataclasses of the adversarial-workload subsystem.
+
+Three validated, frozen configs — the same idiom as :mod:`repro.core.config`
+(every knob checked at construction, enforced by repro-lint rule R4):
+
+* :class:`ScenarioConfig` — one adversarial access pattern (popularity
+  *drift*, a *flash crowd* on previously-cold ids, or a *diurnal* load curve
+  riding the MMPP arrival process).
+* :class:`TraceLoaderConfig` — a streaming external-trace source (the
+  Twitter production cache-trace CSV layout, or a generic columnar
+  ``query_id,key`` format) normalised into the engine's dense-id contract.
+* :class:`RepartitionConfig` — the online re-partitioning lifecycle that
+  periodically retrains the placement on a trailing access window and swaps
+  it live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import (
+    check_bool,
+    check_fraction,
+    check_int_at_least,
+    check_positive,
+    check_seed,
+)
+
+#: Adversarial access patterns the scenario generator can produce.
+SCENARIO_KINDS = ("drift", "flash-crowd", "diurnal")
+
+#: External trace formats the streaming loader understands.
+TRACE_FORMATS = ("twitter", "columnar")
+
+#: Placement algorithms the re-partitioning lifecycle can retrain.
+REPARTITION_PARTITIONERS = ("shp", "frequency", "identity")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One adversarial workload scenario for a single embedding table.
+
+    Attributes
+    ----------
+    kind:
+        ``"drift"`` (the Zipf-popular id ranking rotates over time, so the
+        hot set a placement was trained on slides out from under it),
+        ``"flash-crowd"`` (a sudden traffic spike concentrated on
+        previously-cold ids) or ``"diurnal"`` (a stationary id law whose
+        *arrival rate* follows a day/night curve through the MMPP arrival
+        process — see :func:`repro.scenarios.generators.scenario_serving_config`).
+    num_queries:
+        Queries in the generated trace.
+    avg_lookups_per_query:
+        Mean ids per query (Poisson-sized, at least one).
+    num_vectors:
+        Size of the table's id universe.
+    zipf_alpha:
+        Skew of the popularity law over the ranked ids (and over the
+        community ranking).
+    community_size:
+        Ids per co-access community.  Communities are contiguous spans of
+        the popularity ranking; a query focuses on one Zipf-chosen
+        community, giving SHP real block-level structure to discover —
+        exactly the structure drift destroys.
+    query_locality:
+        Fraction of each query's lookups drawn from its focus community;
+        the rest are independent draws from the global popularity law
+        (``0`` disables community structure entirely).
+    drift_rotation_per_epoch:
+        Fraction of the id ranking rotated at every epoch boundary
+        (``0`` freezes the ranking — the stationary control arm).
+    drift_epoch_queries:
+        Queries per drift epoch; the ranking rotates between epochs.
+    drift_start_fraction:
+        Fraction of the trace before the first rotation.  Setting it to the
+        training split's ``train_fraction`` models the canonical failure:
+        a stationary history that starts drifting right after the offline
+        pipeline trained on it (``0`` drifts from the very first epoch).
+    flash_start_fraction / flash_duration_fraction:
+        Where the flash crowd begins and how long it lasts, as fractions of
+        the trace (``start + duration <= 1``).
+    flash_crowd_ids:
+        How many previously-cold ids (the bottom of the popularity ranking)
+        the crowd converges on.
+    flash_traffic_share:
+        Fraction of in-flash lookups diverted to the crowd ids.
+    diurnal_burst_factor:
+        Day-rate over night-rate ratio of the diurnal arrival curve.
+    diurnal_day_fraction:
+        Stationary fraction of time spent in the high-rate ("day") phase.
+    diurnal_period_s:
+        Mean dwell of one day phase, in (simulated) seconds.
+    seed:
+        Seed of the generator's private random stream.
+    """
+
+    kind: str = "drift"
+    num_queries: int = 2000
+    avg_lookups_per_query: float = 24.0
+    num_vectors: int = 4096
+    zipf_alpha: float = 0.9
+    community_size: int = 64
+    query_locality: float = 0.8
+    drift_rotation_per_epoch: float = 0.05
+    drift_epoch_queries: int = 250
+    drift_start_fraction: float = 0.0
+    flash_start_fraction: float = 0.5
+    flash_duration_fraction: float = 0.2
+    flash_crowd_ids: int = 64
+    flash_traffic_share: float = 0.7
+    diurnal_burst_factor: float = 4.0
+    diurnal_day_fraction: float = 0.5
+    diurnal_period_s: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(
+                f"kind must be one of {SCENARIO_KINDS}, got {self.kind!r}"
+            )
+        check_int_at_least(self.num_queries, 1, "num_queries")
+        check_positive(self.avg_lookups_per_query, "avg_lookups_per_query")
+        check_int_at_least(self.num_vectors, 2, "num_vectors")
+        check_positive(self.zipf_alpha, "zipf_alpha")
+        check_int_at_least(self.community_size, 1, "community_size")
+        if self.community_size > self.num_vectors:
+            raise ValueError(
+                f"community_size ({self.community_size}) cannot exceed "
+                f"num_vectors ({self.num_vectors})"
+            )
+        check_fraction(self.query_locality, "query_locality")
+        check_fraction(self.drift_rotation_per_epoch, "drift_rotation_per_epoch")
+        check_int_at_least(self.drift_epoch_queries, 1, "drift_epoch_queries")
+        check_fraction(self.drift_start_fraction, "drift_start_fraction")
+        check_fraction(self.flash_start_fraction, "flash_start_fraction")
+        check_fraction(self.flash_duration_fraction, "flash_duration_fraction")
+        if self.flash_start_fraction + self.flash_duration_fraction > 1.0:
+            raise ValueError(
+                "flash_start_fraction + flash_duration_fraction must be <= 1, got "
+                f"{self.flash_start_fraction} + {self.flash_duration_fraction}"
+            )
+        check_int_at_least(self.flash_crowd_ids, 1, "flash_crowd_ids")
+        if self.flash_crowd_ids > self.num_vectors:
+            raise ValueError(
+                f"flash_crowd_ids ({self.flash_crowd_ids}) cannot exceed "
+                f"num_vectors ({self.num_vectors})"
+            )
+        check_fraction(self.flash_traffic_share, "flash_traffic_share")
+        check_positive(self.diurnal_burst_factor, "diurnal_burst_factor")
+        check_fraction(self.diurnal_day_fraction, "diurnal_day_fraction")
+        if self.kind == "diurnal" and not 0 < self.diurnal_day_fraction < 1:
+            raise ValueError(
+                "diurnal_day_fraction must lie strictly between 0 and 1"
+            )
+        check_positive(self.diurnal_period_s, "diurnal_period_s")
+        check_seed(self.seed, "seed")
+
+
+@dataclass(frozen=True)
+class TraceLoaderConfig:
+    """A streaming external cache-trace source.
+
+    Attributes
+    ----------
+    path:
+        Path of the trace file (plain CSV; no network access).
+    format:
+        ``"twitter"`` — the Twitter production cache-trace CSV layout
+        (``timestamp,key,key_size,value_size,client_id,operation,ttl``),
+        where consecutive rows sharing ``(timestamp, client_id)`` form one
+        multi-get query; or ``"columnar"`` — a generic two-column
+        ``query_id,key`` layout, where consecutive rows sharing a
+        ``query_id`` form one query.
+    chunk_queries:
+        Queries per streamed chunk (the chunked and whole-file paths are
+        bit-identical for every value — pinned by the equivalence test).
+    max_queries:
+        Optional cap on the number of queries loaded.
+    get_only:
+        Twitter format only: keep ``get``/``gets`` rows and drop mutations
+        (``set``, ``add``, ``delete``, ...), matching how a read-path store
+        sees the trace.
+    """
+
+    path: str
+    format: str = "twitter"
+    chunk_queries: int = 1024
+    max_queries: Optional[int] = None
+    get_only: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("path must be a non-empty file path")
+        if self.format not in TRACE_FORMATS:
+            raise ValueError(
+                f"format must be one of {TRACE_FORMATS}, got {self.format!r}"
+            )
+        check_int_at_least(self.chunk_queries, 1, "chunk_queries")
+        if self.max_queries is not None:
+            check_int_at_least(self.max_queries, 1, "max_queries")
+        check_bool(self.get_only, "get_only")
+
+
+@dataclass(frozen=True)
+class RepartitionConfig:
+    """The online re-partitioning lifecycle.
+
+    Attributes
+    ----------
+    cadence_queries:
+        A retrain is triggered every ``cadence_queries`` served queries.
+    window_queries:
+        Trailing access window the retrain sees (most recent queries).
+    min_window_queries:
+        A trigger with fewer observed queries than this is skipped (too
+        little signal to retrain on).
+    blackout_queries:
+        Simulated retrain cost: the freshly trained placement is swapped in
+        only after this many further queries have been served on the stale
+        placement (an asynchronous retrain that takes time to land).
+    partitioner:
+        Placement algorithm retrained at each trigger
+        (:data:`REPARTITION_PARTITIONERS`).
+    shp_iterations:
+        Refinement iterations per SHP bisection when retraining SHP.
+    refresh_access_counts:
+        Also refresh the admission policy's per-vector access counts from
+        the trailing window at each swap (scaled to the original counts'
+        total so the tuned threshold keeps its selectivity).
+    retain_cache:
+        Keep DRAM residency across a swap (the default: cache entries are
+        keyed by vector id, which re-laying-out NVM blocks does not
+        invalidate).  ``False`` restarts the cache cold at each swap, for
+        modelling systems that flush DRAM on re-layout.
+    seed:
+        Seed of the retrained partitioner.
+    """
+
+    cadence_queries: int = 500
+    window_queries: int = 1000
+    min_window_queries: int = 64
+    blackout_queries: int = 0
+    partitioner: str = "shp"
+    shp_iterations: int = 8
+    refresh_access_counts: bool = True
+    retain_cache: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_int_at_least(self.cadence_queries, 1, "cadence_queries")
+        check_int_at_least(self.window_queries, 1, "window_queries")
+        check_int_at_least(self.min_window_queries, 1, "min_window_queries")
+        check_int_at_least(self.blackout_queries, 0, "blackout_queries")
+        if self.partitioner not in REPARTITION_PARTITIONERS:
+            raise ValueError(
+                f"partitioner must be one of {REPARTITION_PARTITIONERS}, "
+                f"got {self.partitioner!r}"
+            )
+        check_int_at_least(self.shp_iterations, 1, "shp_iterations")
+        check_bool(self.refresh_access_counts, "refresh_access_counts")
+        check_bool(self.retain_cache, "retain_cache")
+        check_seed(self.seed, "seed")

@@ -370,6 +370,9 @@ CONFIG_CLASSES = frozenset(
         "ClusterConfig",
         "TracingConfig",
         "DeviceBankConfig",
+        "ScenarioConfig",
+        "TraceLoaderConfig",
+        "RepartitionConfig",
     }
 )
 

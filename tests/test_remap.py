@@ -108,3 +108,68 @@ class TestDensifyTrace:
         for name in dense:
             assert dense[name].num_vectors == remappers[name].num_ids
             assert dense[name].num_lookups == model[name].num_lookups
+
+
+class TestStreamingConstruction:
+    """The loader's exact usage pattern: the remapper is folded together
+    from streamed chunks, with ids arriving in no particular order, and must
+    equal the one built from the whole trace at once."""
+
+    def test_chunked_union_fold_equals_whole(self):
+        rng = np.random.default_rng(4)
+        universe = rng.choice(2**61, size=200, replace=False)
+        queries = sparse_queries(rng, universe, num_queries=120)
+        whole = IdRemapper.from_queries(queries)
+        for chunk_size in (1, 7, 64):
+            unique = np.empty(0, dtype=np.int64)
+            for start in range(0, len(queries), chunk_size):
+                chunk = queries[start : start + chunk_size]
+                unique = np.union1d(unique, np.concatenate(chunk))
+            folded = IdRemapper(unique)
+            np.testing.assert_array_equal(folded.sparse_ids, whole.sparse_ids)
+            probe = queries[0]
+            np.testing.assert_array_equal(
+                folded.to_dense(probe), whole.to_dense(probe)
+            )
+
+    def test_arrival_order_is_irrelevant(self):
+        # Ids arriving out of training-set order (descending, interleaved,
+        # shuffled) all land on the same sorted-rank mapping.
+        rng = np.random.default_rng(5)
+        universe = rng.choice(2**59, size=80, replace=False)
+        orderings = [
+            universe,
+            universe[::-1],
+            rng.permutation(universe),
+            np.concatenate([universe[1::2], universe[0::2]]),
+        ]
+        remappers = [IdRemapper.from_queries([order]) for order in orderings]
+        for remapper in remappers[1:]:
+            np.testing.assert_array_equal(
+                remapper.sparse_ids, remappers[0].sparse_ids
+            )
+            np.testing.assert_array_equal(
+                remapper.to_dense(universe), remappers[0].to_dense(universe)
+            )
+
+    def test_chunked_densify_replays_identically(self):
+        # densify_trace on the whole trace vs per-chunk remapping through a
+        # shared remapper: same queries, same replay counters.
+        rng = np.random.default_rng(6)
+        universe = rng.choice(2**62, size=96, replace=False)
+        trace = Trace(sparse_queries(rng, universe, num_queries=90))
+        dense, remapper = densify_trace(trace)
+        chunked = []
+        for start in range(0, len(trace.queries), 13):
+            for query in trace.queries[start : start + 13]:
+                chunked.append(remapper.to_dense(query))
+        layout = BlockLayout.identity(dense.num_vectors, 8)
+        whole_stats = replay_table_cache_batched(
+            dense.queries, layout, CacheAllBlockPolicy(), cache_size=24
+        )
+        chunk_stats = replay_table_cache_batched(
+            chunked, layout, CacheAllBlockPolicy(), cache_size=24
+        )
+        for got, expected in zip(chunked, dense.queries):
+            np.testing.assert_array_equal(got, expected)
+        assert chunk_stats.counters() == whole_stats.counters()

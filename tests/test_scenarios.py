@@ -1,0 +1,396 @@
+"""Tests for the adversarial-workload subsystem (repro.scenarios).
+
+Covers the scenario generators (seeded golden pins — every trace is a pure
+function of its config), the live layout-swap machinery (a same-layout swap
+is a counter-exact no-op; geometry mismatches refuse), the re-partitioning
+lifecycle (drift breaks a stale SHP placement, retraining wins hit rate
+back), and the config dataclasses' validation plus their repro-lint R4
+registration.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.bandana import BandanaStore
+from repro.core.config import BandanaConfig, ServingConfig
+from repro.nvm.block import BlockLayout
+from repro.scenarios import (
+    RepartitionConfig,
+    RepartitionManager,
+    ScenarioConfig,
+    ScenarioReport,
+    TraceLoaderConfig,
+    generate_scenario_trace,
+    layout_churn,
+    run_workload_scenario,
+    scenario_serving_config,
+)
+from repro.serving import simulate_serving
+from repro.workloads.trace import ModelTrace
+from repro_lint.rules import CONFIG_CLASSES
+
+
+def small_scenario(kind, **overrides):
+    params = dict(
+        kind=kind,
+        num_queries=60,
+        num_vectors=256,
+        avg_lookups_per_query=8.0,
+        drift_epoch_queries=10,
+        flash_crowd_ids=32,
+        seed=5,
+    )
+    params.update(overrides)
+    return ScenarioConfig(**params)
+
+
+def scenario_store_config(num_vectors):
+    # Placement-sensitive store: small DRAM cache, permissive admission.
+    return BandanaConfig(
+        total_cache_vectors=num_vectors // 8,
+        tune_thresholds=False,
+        default_threshold=2,
+    )
+
+
+# ----------------------------------------------------------------- generators
+class TestGenerators:
+    def test_seeded_golden_pins(self):
+        # Each generator is a pure function of its config: pin the trace
+        # shape and an id checksum per kind.  (Drift and diurnal share the
+        # stationary id law, so they agree on size but not on the ids the
+        # rotation touches; flash re-dedupes diverted lookups.)
+        pins = {
+            "drift": (439, 56842),
+            "flash-crowd": (434, 52427),
+            "diurnal": (439, 52307),
+        }
+        for kind, (num_lookups, checksum) in pins.items():
+            trace = generate_scenario_trace(small_scenario(kind))
+            ids = np.concatenate(trace.queries)
+            assert len(trace.queries) == 60
+            assert (int(ids.size), int(ids.sum())) == (num_lookups, checksum), kind
+
+    def test_regeneration_is_bit_identical(self):
+        config = small_scenario("drift")
+        first = generate_scenario_trace(config)
+        second = generate_scenario_trace(config)
+        for a, b in zip(first.queries, second.queries):
+            np.testing.assert_array_equal(a, b)
+
+    def test_dense_id_contract(self):
+        for kind in ("drift", "flash-crowd", "diurnal"):
+            trace = generate_scenario_trace(small_scenario(kind))
+            ids = np.concatenate(trace.queries)
+            assert ids.min() >= 0
+            assert ids.max() < trace.num_vectors
+            # Queries are de-duplicated (the engine's contract).
+            for query in trace.queries:
+                assert len(np.unique(query)) == query.size
+
+    def test_stationary_control_has_no_rotation(self):
+        moving = small_scenario("drift", drift_rotation_per_epoch=0.2)
+        frozen = small_scenario("drift", drift_rotation_per_epoch=0.0)
+        assert int(np.concatenate(generate_scenario_trace(moving).queries).sum()) != int(
+            np.concatenate(generate_scenario_trace(frozen).queries).sum()
+        )
+
+    def test_flash_crowd_concentrates_on_cold_ids(self):
+        config = small_scenario(
+            "flash-crowd", flash_traffic_share=1.0, flash_start_fraction=0.5,
+            flash_duration_fraction=0.5,
+        )
+        trace = generate_scenario_trace(config)
+        # During the flash window with full diversion, lookups hit the crowd.
+        flash_ids = np.concatenate(trace.queries[40:])
+        control = generate_scenario_trace(
+            dataclasses.replace(config, flash_traffic_share=0.0)
+        )
+        control_ids = np.concatenate(control.queries[40:])
+        assert len(np.unique(flash_ids)) <= config.flash_crowd_ids
+        assert len(np.unique(control_ids)) > config.flash_crowd_ids
+
+    def test_diurnal_maps_onto_mmpp_serving(self):
+        config = small_scenario("diurnal", diurnal_burst_factor=5.0)
+        serving = scenario_serving_config(config, ServingConfig(arrival_rate_rps=1000.0))
+        assert serving.arrival_process == "mmpp"
+        assert serving.mmpp_burst_factor == config.diurnal_burst_factor
+        # Non-diurnal kinds pass the base config through untouched.
+        passthrough = scenario_serving_config(
+            small_scenario("drift"), ServingConfig(arrival_rate_rps=1000.0)
+        )
+        assert passthrough.arrival_process == "poisson"
+
+
+# ------------------------------------------------------------------ swap_layout
+class TestSwapLayout:
+    def build(self, num_vectors=256, seed=9, config=None):
+        trace = generate_scenario_trace(
+            small_scenario("drift", num_vectors=num_vectors, seed=seed)
+        )
+        store = BandanaStore.build(
+            ModelTrace({"t": trace}), config or scenario_store_config(num_vectors)
+        )
+        return store, trace
+
+    def test_same_layout_swap_is_counter_exact_noop(self):
+        store, trace = self.build()
+        baseline, _ = self.build()
+        mid = len(trace.queries) // 2
+        for i, query in enumerate(trace.queries):
+            store.lookup("t", query, gather=False)
+            if i == mid:
+                store.swap_layout("t", store.tables["t"].layout, retain_cache=True)
+        for query in trace.queries:
+            baseline.lookup("t", query, gather=False)
+        assert (
+            store.tables["t"].stats.counters()
+            == baseline.tables["t"].stats.counters()
+        )
+
+    def test_cold_swap_loses_residency(self):
+        # Prefetch admission off (absurd threshold) and a big cache: hits
+        # come from LRU residency alone, which only the cold swap discards.
+        config = BandanaConfig(
+            total_cache_vectors=128, tune_thresholds=False, default_threshold=10**6
+        )
+        retained, trace = self.build(config=config)
+        flushed, _ = self.build(config=config)
+        mid = len(trace.queries) // 2
+        for i, query in enumerate(trace.queries):
+            retained.lookup("t", query, gather=False)
+            flushed.lookup("t", query, gather=False)
+            if i == mid:
+                layout = retained.tables["t"].layout
+                retained.swap_layout("t", layout, retain_cache=True)
+                flushed.swap_layout("t", layout, retain_cache=False)
+        assert (
+            flushed.tables["t"].stats.hits < retained.tables["t"].stats.hits
+        )
+
+    def test_geometry_mismatch_refuses(self):
+        store, _ = self.build()
+        wrong_universe = BlockLayout.identity(128, 32)
+        with pytest.raises(ValueError, match="geometry"):
+            store.swap_layout("t", wrong_universe)
+        wrong_blocking = BlockLayout.identity(256, 16)
+        with pytest.raises(ValueError, match="geometry"):
+            store.swap_layout("t", wrong_blocking)
+
+    def test_layout_churn(self):
+        identity = BlockLayout.identity(64, 8)
+        assert layout_churn(identity, identity) == pytest.approx(0.0)
+        reversed_order = BlockLayout(
+            np.arange(63, -1, -1, dtype=np.int64), vectors_per_block=8
+        )
+        assert layout_churn(identity, reversed_order) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            layout_churn(identity, BlockLayout.identity(32, 8))
+
+
+# -------------------------------------------------------------------- lifecycle
+class TestLifecycle:
+    def drifting_trace(self, num_queries=900, num_vectors=1024):
+        return generate_scenario_trace(
+            ScenarioConfig(
+                kind="drift",
+                num_queries=num_queries,
+                num_vectors=num_vectors,
+                avg_lookups_per_query=16.0,
+                drift_rotation_per_epoch=0.03,
+                drift_epoch_queries=num_queries // 18,
+                drift_start_fraction=1.0 / 3.0,
+                seed=7,
+            )
+        )
+
+    def test_drift_breaks_shp_and_lifecycle_recovers(self):
+        trace = self.drifting_trace()
+        common = dict(
+            config=scenario_store_config(1024),
+            train_fraction=1.0 / 3.0,
+            window_queries=50,
+            warmup_queries=100,
+        )
+        stale = run_workload_scenario(trace, **common)
+        repaired = run_workload_scenario(
+            trace,
+            repartition=RepartitionConfig(
+                cadence_queries=150,
+                window_queries=300,
+                min_window_queries=150,
+                shp_iterations=6,
+            ),
+            **common,
+        )
+        # The stale placement decays; the lifecycle wins a real share back.
+        assert stale.hit_rate_decay > 0.05
+        assert repaired.late_hit_rate > stale.late_hit_rate
+        assert repaired.repartition["retrains"] >= 2
+        assert len(repaired.repartition["swaps"]) == repaired.repartition["retrains"]
+        # Partition age saw-tooths under the lifecycle, grows monotonically
+        # without one.
+        assert max(repaired.window_partition_age) < max(stale.window_partition_age)
+        assert stale.window_partition_age == sorted(stale.window_partition_age)
+
+    def test_blackout_delays_the_swap(self):
+        trace = self.drifting_trace(num_queries=450)
+        store = BandanaStore.build(
+            ModelTrace({"t": trace}), scenario_store_config(1024)
+        )
+        manager = RepartitionManager(
+            store,
+            "t",
+            RepartitionConfig(
+                cadence_queries=100,
+                window_queries=200,
+                min_window_queries=50,
+                blackout_queries=30,
+                shp_iterations=2,
+            ),
+        )
+        swap_indices = []
+        for i, query in enumerate(trace.queries):
+            store.lookup("t", query, gather=False)
+            if manager.observe(query):
+                swap_indices.append(i)
+        assert manager.retrains >= 1
+        # Retrains trigger at multiples of the cadence; each swap lands
+        # exactly blackout_queries later.
+        assert all((i + 1 - 30) % 100 == 0 for i in swap_indices)
+
+    def test_min_window_gate(self):
+        trace = self.drifting_trace(num_queries=450)
+        store = BandanaStore.build(
+            ModelTrace({"t": trace}), scenario_store_config(1024)
+        )
+        manager = RepartitionManager(
+            store,
+            "t",
+            RepartitionConfig(
+                cadence_queries=100,
+                window_queries=400,
+                min_window_queries=350,
+                shp_iterations=2,
+            ),
+        )
+        for query in trace.queries[:300]:
+            store.lookup("t", query, gather=False)
+            manager.observe(query)
+        assert manager.retrains == 0  # window never reached the minimum
+
+
+# ---------------------------------------------------------------------- runner
+class TestRunner:
+    def test_report_shape_and_series(self):
+        trace = generate_scenario_trace(
+            small_scenario("drift", num_queries=120, num_vectors=512)
+        )
+        report = run_workload_scenario(
+            trace,
+            config=scenario_store_config(512),
+            train_fraction=0.5,
+            window_queries=10,
+        )
+        assert isinstance(report, ScenarioReport)
+        assert report.num_train_queries == 60
+        assert report.num_eval_queries == 60
+        assert len(report.window_hit_rates) == 6
+        assert len(report.window_partition_age) == 6
+        assert 0.0 <= report.overall_hit_rate <= 1.0
+        payload = report.to_dict()
+        assert payload["window_hit_rates"] == [
+            round(v, 6) for v in report.window_hit_rates
+        ]
+
+    def test_serving_leg_reports_latency(self):
+        # Also the regression pin for the aggregate-stats aliasing fix: a
+        # single-table store must report a real (non-zero) serving hit rate.
+        trace = generate_scenario_trace(
+            small_scenario("drift", num_queries=200, num_vectors=512)
+        )
+        report = run_workload_scenario(
+            trace,
+            config=scenario_store_config(512),
+            train_fraction=0.5,
+            window_queries=20,
+            serving=ServingConfig(arrival_rate_rps=2000.0, seed=3),
+            serving_requests=80,
+        )
+        assert report.serving is not None
+        assert report.serving["num_requests"] == 80
+        assert report.serving["p999_us"] >= report.serving["p50_us"] > 0
+        assert report.serving["hit_rate"] > 0.0
+
+    def test_invalid_fractions_refuse(self):
+        trace = generate_scenario_trace(small_scenario("drift"))
+        with pytest.raises(ValueError):
+            run_workload_scenario(trace, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            run_workload_scenario(trace, train_fraction=1.0)
+
+
+# ------------------------------------------------------- single-table serving
+class TestSingleTableServingStats:
+    def test_aggregate_stats_returns_a_snapshot(self):
+        # Regression: aggregate_stats on a one-table store used to return
+        # the live ReplayStats object itself, so before/after deltas were
+        # identically zero and simulate_serving reported hit_rate == 0.
+        trace = generate_scenario_trace(small_scenario("drift", num_queries=200))
+        train, evaluation = trace.split(0.5)
+        store = BandanaStore.build(
+            ModelTrace({"only": train}), scenario_store_config(256)
+        )
+        before = store.aggregate_stats()
+        report = simulate_serving(
+            store,
+            ModelTrace({"only": evaluation}),
+            ServingConfig(arrival_rate_rps=2000.0, seed=3),
+            num_requests=60,
+        )
+        assert before.lookups == 0  # the snapshot did not advance with the store
+        assert report.hit_rate > 0.0
+
+
+# ---------------------------------------------------------------------- config
+class TestConfigValidation:
+    def test_registered_with_repro_lint(self):
+        assert {"ScenarioConfig", "TraceLoaderConfig", "RepartitionConfig"} <= set(
+            CONFIG_CLASSES
+        )
+
+    def test_scenario_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(kind="meteor-strike")
+        with pytest.raises(ValueError):
+            ScenarioConfig(query_locality=1.5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(community_size=10_000, num_vectors=4096)
+        with pytest.raises(ValueError):
+            ScenarioConfig(flash_start_fraction=0.7, flash_duration_fraction=0.5)
+        with pytest.raises(ValueError):
+            ScenarioConfig(flash_crowd_ids=10_000, num_vectors=4096)
+        with pytest.raises(ValueError):
+            ScenarioConfig(kind="diurnal", diurnal_day_fraction=0.0)
+
+    def test_loader_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            TraceLoaderConfig(path="")
+        with pytest.raises(ValueError):
+            TraceLoaderConfig(path="x.csv", format="parquet")
+        with pytest.raises(ValueError):
+            TraceLoaderConfig(path="x.csv", chunk_queries=0)
+        with pytest.raises(ValueError):
+            TraceLoaderConfig(path="x.csv", max_queries=0)
+
+    def test_repartition_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RepartitionConfig(partitioner="kmeans++")
+        with pytest.raises(ValueError):
+            RepartitionConfig(cadence_queries=0)
+        with pytest.raises(ValueError):
+            RepartitionConfig(blackout_queries=-1)
+        with pytest.raises(ValueError):
+            RepartitionConfig(shp_iterations=0)
